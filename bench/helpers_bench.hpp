@@ -1,0 +1,53 @@
+#pragma once
+// Shared workload generators for the table/figure harnesses.
+
+#include <unordered_set>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "util/random.hpp"
+
+namespace cbq::bench {
+
+/// Disjunction of `clauses` random conjunctions over `vars` variables;
+/// each conjunction includes variable 0 with probability `p`. Small p
+/// means the cofactors w.r.t. variable 0 are nearly identical — the
+/// "high merge probability" regime of §2.1.
+inline aig::Lit similarityFormula(aig::Aig& g, util::Random& rng, int vars,
+                                  int clauses, double p) {
+  std::vector<aig::Lit> terms;
+  terms.reserve(static_cast<std::size_t>(clauses));
+  for (int c = 0; c < clauses; ++c) {
+    std::vector<aig::Lit> lits;
+    const int size = 2 + static_cast<int>(rng.below(3));
+    for (int k = 0; k < size; ++k) {
+      const auto v = static_cast<aig::VarId>(1 + rng.below(
+                                                     static_cast<std::uint64_t>(
+                                                         vars - 1)));
+      lits.push_back(g.pi(v) ^ rng.flip());
+    }
+    if (rng.unit() < p) lits.push_back(g.pi(0) ^ rng.flip());
+    terms.push_back(g.mkAndAll(lits));
+  }
+  return g.mkOrAll(terms);
+}
+
+/// Jaccard similarity of the two cones' AND-node sets — a structural
+/// proxy for how much of the cofactors is literally shared.
+inline double structuralSimilarity(const aig::Aig& g, aig::Lit a,
+                                   aig::Lit b) {
+  const aig::Lit ra[] = {a};
+  const aig::Lit rb[] = {b};
+  const auto ca = g.coneAnds(ra);
+  const auto cb = g.coneAnds(rb);
+  std::unordered_set<aig::NodeId> sa(ca.begin(), ca.end());
+  std::size_t common = 0;
+  for (const aig::NodeId n : cb)
+    if (sa.contains(n)) ++common;
+  const std::size_t unionSize = ca.size() + cb.size() - common;
+  return unionSize == 0 ? 1.0
+                        : static_cast<double>(common) /
+                              static_cast<double>(unionSize);
+}
+
+}  // namespace cbq::bench

@@ -1,0 +1,93 @@
+// Micro-benchmarks of the AIG substrate: construction throughput,
+// cofactoring, composition, simulation and cross-manager transfer.
+
+#include <benchmark/benchmark.h>
+
+#include "aig/aig.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using cbq::aig::Aig;
+using cbq::aig::Lit;
+using cbq::aig::VarId;
+
+Lit buildRandomCone(Aig& g, cbq::util::Random& rng, int vars, int ops) {
+  std::vector<Lit> pool;
+  for (int v = 0; v < vars; ++v) pool.push_back(g.pi(static_cast<VarId>(v)));
+  for (int i = 0; i < ops; ++i) {
+    const Lit a = pool[rng.below(pool.size())] ^ rng.flip();
+    const Lit b = pool[rng.below(pool.size())] ^ rng.flip();
+    pool.push_back(rng.flip() ? g.mkAnd(a, b) : g.mkXor(a, b));
+  }
+  return pool.back();
+}
+
+void BM_MkAndStrash(benchmark::State& state) {
+  for (auto _ : state) {
+    Aig g;
+    cbq::util::Random rng(7);
+    benchmark::DoNotOptimize(
+        buildRandomCone(g, rng, 16, static_cast<int>(state.range(0))));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MkAndStrash)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_Cofactor(benchmark::State& state) {
+  Aig g;
+  cbq::util::Random rng(11);
+  const Lit f = buildRandomCone(g, rng, 16, static_cast<int>(state.range(0)));
+  VarId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.cofactor(f, v, true));
+    v = (v + 1) % 16;
+  }
+}
+BENCHMARK(BM_Cofactor)->Arg(1000)->Arg(10000);
+
+void BM_Compose(benchmark::State& state) {
+  Aig g;
+  cbq::util::Random rng(13);
+  const Lit f = buildRandomCone(g, rng, 16, static_cast<int>(state.range(0)));
+  const Lit sub = buildRandomCone(g, rng, 16, 64);
+  const std::unordered_map<VarId, Lit> map{{3, sub}, {7, !sub}};
+  for (auto _ : state) benchmark::DoNotOptimize(g.compose(f, map));
+}
+BENCHMARK(BM_Compose)->Arg(1000)->Arg(10000);
+
+void BM_Simulate64(benchmark::State& state) {
+  Aig g;
+  cbq::util::Random rng(17);
+  const Lit f = buildRandomCone(g, rng, 16, static_cast<int>(state.range(0)));
+  std::unordered_map<VarId, std::uint64_t> words;
+  for (VarId v = 0; v < 16; ++v) words.emplace(v, rng.next64());
+  const Lit roots[] = {f};
+  for (auto _ : state) benchmark::DoNotOptimize(g.simulate(roots, words));
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 64);
+}
+BENCHMARK(BM_Simulate64)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_TransferCompact(benchmark::State& state) {
+  Aig g;
+  cbq::util::Random rng(19);
+  const Lit f = buildRandomCone(g, rng, 16, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Aig fresh;
+    benchmark::DoNotOptimize(fresh.transferFrom(g, {{f}}));
+  }
+}
+BENCHMARK(BM_TransferCompact)->Arg(1000)->Arg(10000);
+
+void BM_ConeTraversal(benchmark::State& state) {
+  Aig g;
+  cbq::util::Random rng(23);
+  const Lit f = buildRandomCone(g, rng, 16, static_cast<int>(state.range(0)));
+  const Lit roots[] = {f};
+  for (auto _ : state) benchmark::DoNotOptimize(g.coneAnds(roots));
+}
+BENCHMARK(BM_ConeTraversal)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Micro-benchmarks of the BDD substrate: conversion from AIG,
+// quantification, composition and the relational product.
+
+#include <benchmark/benchmark.h>
+
+#include "bdd/bdd.hpp"
+#include "circuits/families.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using cbq::bdd::BddManager;
+using cbq::bdd::BddRef;
+
+void BM_AigToBdd(benchmark::State& state) {
+  const auto net =
+      cbq::circuits::makeGrayPair(static_cast<int>(state.range(0)), true);
+  for (auto _ : state) {
+    BddManager m;
+    benchmark::DoNotOptimize(cbq::bdd::aigToBdd(net.aig, net.bad, m));
+  }
+}
+BENCHMARK(BM_AigToBdd)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_ExistsInputs(benchmark::State& state) {
+  const auto net =
+      cbq::circuits::makeArbiter(static_cast<int>(state.range(0)), true);
+  for (auto _ : state) {
+    BddManager m;
+    const BddRef bad = cbq::bdd::aigToBdd(net.aig, net.bad, m);
+    benchmark::DoNotOptimize(m.exists(bad, net.inputVars));
+  }
+}
+BENCHMARK(BM_ExistsInputs)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_VectorCompose(benchmark::State& state) {
+  const auto net =
+      cbq::circuits::makeCounter(static_cast<int>(state.range(0)), true);
+  BddManager m;
+  std::unordered_map<cbq::aig::VarId, BddRef> subst;
+  for (std::size_t i = 0; i < net.numLatches(); ++i)
+    subst.emplace(net.stateVars[i],
+                  cbq::bdd::aigToBdd(net.aig, net.next[i], m));
+  const BddRef bad = cbq::bdd::aigToBdd(net.aig, net.bad, m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.compose(bad, subst));
+  }
+}
+BENCHMARK(BM_VectorCompose)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_AndExistsRelationalProduct(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto net = cbq::circuits::makeLfsr(n, true);
+  BddManager m;
+  // Build a transition-relation conjunct pile and one frontier.
+  BddRef tr = cbq::bdd::kTrueBdd;
+  for (std::size_t i = 0; i < net.numLatches(); ++i) {
+    const BddRef ns = m.var(1000 + static_cast<cbq::aig::VarId>(i));
+    const BddRef delta = cbq::bdd::aigToBdd(net.aig, net.next[i], m);
+    tr = m.bddAnd(tr, m.bddNot(m.bddXor(ns, delta)));
+  }
+  BddRef frontier = cbq::bdd::kTrueBdd;
+  for (std::size_t i = 0; i < net.numLatches(); ++i) {
+    BddRef v = m.var(net.stateVars[i]);
+    if (!net.init[i]) v = m.bddNot(v);
+    frontier = m.bddAnd(frontier, v);
+  }
+  std::vector<cbq::aig::VarId> quantify(net.stateVars);
+  quantify.insert(quantify.end(), net.inputVars.begin(),
+                  net.inputVars.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.andExists(tr, frontier, quantify));
+    m.clearCaches();
+  }
+}
+BENCHMARK(BM_AndExistsRelationalProduct)->Arg(6)->Arg(10)->Arg(14);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Micro-benchmarks of the CDCL solver: random 3-SAT near the phase
+// transition, pigeonhole proofs, and the assumption-batch pattern the
+// sweeping engine relies on (one clause DB, many factorized checks).
+
+#include <benchmark/benchmark.h>
+
+#include "sat/solver.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using cbq::sat::Lit;
+using cbq::sat::Solver;
+using cbq::sat::Var;
+
+void addRandom3Sat(Solver& s, cbq::util::Random& rng, int vars,
+                   int clauses) {
+  for (int v = 0; v < vars; ++v) s.newVar();
+  for (int c = 0; c < clauses; ++c) {
+    const Lit cl[3] = {
+        Lit(static_cast<Var>(rng.below(vars)), rng.flip()),
+        Lit(static_cast<Var>(rng.below(vars)), rng.flip()),
+        Lit(static_cast<Var>(rng.below(vars)), rng.flip()),
+    };
+    s.addClause(cl);
+  }
+}
+
+void BM_Random3SatPhaseTransition(benchmark::State& state) {
+  const int vars = static_cast<int>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Solver s;
+    cbq::util::Random rng(seed++);
+    addRandom3Sat(s, rng, vars, static_cast<int>(vars * 4.26));
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_Random3SatPhaseTransition)->Arg(50)->Arg(100)->Arg(150);
+
+void BM_PigeonholeUnsat(benchmark::State& state) {
+  const int holes = static_cast<int>(state.range(0));
+  const int pigeons = holes + 1;
+  for (auto _ : state) {
+    Solver s;
+    std::vector<std::vector<Var>> p(pigeons, std::vector<Var>(holes));
+    for (auto& row : p)
+      for (auto& v : row) v = s.newVar();
+    for (int i = 0; i < pigeons; ++i) {
+      std::vector<Lit> clause;
+      for (int h = 0; h < holes; ++h) clause.emplace_back(p[i][h], false);
+      s.addClause(clause);
+    }
+    for (int h = 0; h < holes; ++h)
+      for (int i = 0; i < pigeons; ++i)
+        for (int j = i + 1; j < pigeons; ++j)
+          s.addClause({Lit(p[i][h], true), Lit(p[j][h], true)});
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_PigeonholeUnsat)->Arg(5)->Arg(6)->Arg(7);
+
+void BM_AssumptionBatchSharedDb(benchmark::State& state) {
+  // The §2.1 pattern: load the clause DB once, fire many small
+  // equivalence-style queries through assumptions only.
+  Solver s;
+  cbq::util::Random rng(99);
+  const int vars = 200;
+  addRandom3Sat(s, rng, vars, 700);  // satisfiable region
+  for (auto _ : state) {
+    const Lit assumptions[2] = {
+        Lit(static_cast<Var>(rng.below(vars)), rng.flip()),
+        Lit(static_cast<Var>(rng.below(vars)), rng.flip()),
+    };
+    benchmark::DoNotOptimize(s.solve(assumptions));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AssumptionBatchSharedDb);
+
+void BM_BudgetedSolve(benchmark::State& state) {
+  // Resource-limited checks as used for sweeping compare points.
+  Solver s;
+  cbq::util::Random rng(7);
+  addRandom3Sat(s, rng, 300, 1280);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.solveLimited({}, state.range(0)));
+  }
+}
+BENCHMARK(BM_BudgetedSolve)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

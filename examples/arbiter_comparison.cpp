@@ -1,0 +1,50 @@
+// Engine portfolio comparison on the round-robin arbiter.
+//
+//   $ ./arbiter_comparison [clients]
+//
+// The arbiter's mutual-exclusion property needs the one-hot token
+// invariant — a classic case where bounded methods alone cannot conclude
+// and fixpoint engines shine. This example runs the full portfolio
+// (the paper's engine, both BDD baselines, BMC, k-induction, all-SAT
+// pre-image, and the §4 hybrid) on the safe arbiter and on a buggy
+// variant whose client 0 bypasses the token.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "circuits/families.hpp"
+#include "mc/engines.hpp"
+
+int main(int argc, char** argv) {
+  const int clients = argc > 1 ? std::atoi(argv[1]) : 4;
+  if (clients < 2 || clients > 12) {
+    std::fprintf(stderr, "usage: %s [clients 2..12]\n", argv[0]);
+    return 1;
+  }
+
+  for (const bool safe : {true, false}) {
+    const auto net = cbq::circuits::makeArbiter(clients, safe);
+    std::printf("== %s (%zu latches, %zu inputs) ==\n", net.name.c_str(),
+                net.numLatches(), net.numInputs());
+    std::printf("%-14s %-9s %-6s %-9s %s\n", "engine", "verdict", "steps",
+                "time[s]", "counterexample");
+    for (auto& engine : cbq::mc::makeAllEngines()) {
+      const auto res = engine->check(net);
+      const char* cex = "-";
+      if (res.cex) {
+        cex = cbq::mc::replayHitsBad(net, *res.cex) ? "replays ok"
+                                                    : "REPLAY FAILS";
+      }
+      std::printf("%-14s %-9s %-6d %-9.3f %s\n", res.engine.c_str(),
+                  cbq::mc::toString(res.verdict), res.steps, res.seconds,
+                  cex);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "note: BMC reports UNKNOWN on the safe instance — it is a bounded\n"
+      "method; the unbounded engines prove safety via a pre-image "
+      "fixpoint.\n");
+  return 0;
+}

@@ -1,0 +1,205 @@
+#pragma once
+// And-Inverter Graph (AIG) manager.
+//
+// This is the non-canonical state-set representation at the heart of the
+// paper (Kuehlmann et al., "Circuit-based Boolean Reasoning"). Nodes are
+// two-input ANDs with complemented edges; the manager provides
+//  * structural hashing ("semi-canonicity" in the paper's terms),
+//  * one- and two-level simplification rules applied at construction,
+//  * cofactoring and composition (quantification by substitution),
+//  * cone traversal, structural support, and cross-manager transfer,
+//  * 64-way parallel bit-level simulation.
+//
+// Primary inputs carry a persistent `varId` chosen by the caller, so the
+// same variable keeps its identity across managers; this is what makes
+// moving state-set cones between managers (for compaction) and composing
+// next-state functions into state sets straightforward.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "aig/lit.hpp"
+
+namespace cbq::aig {
+
+/// Identifier of an external variable (primary input), stable across
+/// managers. Model checking assigns state variables and circuit inputs
+/// distinct varIds.
+using VarId = std::uint32_t;
+
+/// One AIG node. AND nodes store two fanin literals; primary inputs store
+/// their varId; node 0 is the constant-FALSE node.
+struct Node {
+  Lit fanin0;          ///< AND: left fanin. PI/const: unused sentinel.
+  Lit fanin1;          ///< AND: right fanin. PI: packed varId.
+  std::uint32_t level; ///< Longest path from a leaf (const/PI are level 0).
+};
+
+class Aig {
+ public:
+  Aig();
+
+  Aig(const Aig&) = delete;
+  Aig& operator=(const Aig&) = delete;
+  Aig(Aig&&) = default;
+  Aig& operator=(Aig&&) = default;
+
+  // ----- construction ------------------------------------------------
+
+  /// Returns the literal of the primary input with external id `var`,
+  /// creating the PI node on first use.
+  Lit pi(VarId var);
+
+  /// True when a PI node for `var` already exists.
+  [[nodiscard]] bool hasPi(VarId var) const {
+    return piByVar_.contains(var);
+  }
+
+  /// Node id of the PI for `var`. Precondition: hasPi(var).
+  [[nodiscard]] NodeId piNodeOf(VarId var) const {
+    return piByVar_.at(var);
+  }
+
+  /// AND with structural hashing and simplification rules.
+  Lit mkAnd(Lit a, Lit b);
+
+  Lit mkOr(Lit a, Lit b) { return !mkAnd(!a, !b); }
+  Lit mkXor(Lit a, Lit b);
+  Lit mkXnor(Lit a, Lit b) { return !mkXor(a, b); }
+  Lit mkImplies(Lit a, Lit b) { return mkOr(!a, b); }
+  /// if-then-else: s ? t : e.
+  Lit mkMux(Lit s, Lit t, Lit e);
+
+  /// Conjunction / disjunction over a span (balanced reduction).
+  Lit mkAndAll(std::span<const Lit> lits);
+  Lit mkOrAll(std::span<const Lit> lits);
+
+  /// Enables/disables the two-level rewrite rules applied inside mkAnd
+  /// (contradiction, absorption and substitution through one AND level).
+  void setTwoLevelRules(bool enabled) { twoLevel_ = enabled; }
+  [[nodiscard]] bool twoLevelRules() const { return twoLevel_; }
+
+  // ----- node inspection ---------------------------------------------
+
+  [[nodiscard]] std::size_t numNodes() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t numPis() const { return pis_.size(); }
+  [[nodiscard]] std::size_t numAnds() const {
+    return nodes_.size() - 1 - pis_.size();
+  }
+
+  [[nodiscard]] bool isConst(NodeId n) const { return n == 0; }
+  [[nodiscard]] bool isPi(NodeId n) const {
+    return n != 0 && nodes_[n].fanin0 == kPiMark;
+  }
+  [[nodiscard]] bool isAnd(NodeId n) const {
+    return n != 0 && nodes_[n].fanin0 != kPiMark;
+  }
+
+  /// The external variable id of a PI node. Precondition: isPi(n).
+  [[nodiscard]] VarId piVar(NodeId n) const {
+    return nodes_[n].fanin1.raw();
+  }
+
+  /// Fanins of an AND node. Precondition: isAnd(n).
+  [[nodiscard]] Lit fanin0(NodeId n) const { return nodes_[n].fanin0; }
+  [[nodiscard]] Lit fanin1(NodeId n) const { return nodes_[n].fanin1; }
+
+  [[nodiscard]] std::uint32_t level(NodeId n) const {
+    return nodes_[n].level;
+  }
+
+  /// All PI node ids in creation order.
+  [[nodiscard]] const std::vector<NodeId>& pis() const { return pis_; }
+
+  // ----- traversal ----------------------------------------------------
+
+  /// AND nodes in the transitive fanin of `roots`, in topological order
+  /// (fanins before fanouts). PIs and the constant are not included.
+  [[nodiscard]] std::vector<NodeId> coneAnds(std::span<const Lit> roots) const;
+
+  /// Number of AND nodes in the cone of `root` — the paper's circuit-size
+  /// metric for state sets.
+  [[nodiscard]] std::size_t coneSize(Lit root) const;
+  [[nodiscard]] std::size_t coneSize(std::span<const Lit> roots) const;
+
+  /// External variable ids of the PIs in the structural support of
+  /// `roots`, sorted ascending.
+  [[nodiscard]] std::vector<VarId> supportVars(
+      std::span<const Lit> roots) const;
+  [[nodiscard]] std::vector<VarId> supportVars(Lit root) const;
+
+  /// True when variable `var` appears in the structural support of `root`.
+  [[nodiscard]] bool dependsOn(Lit root, VarId var) const;
+
+  // ----- functional operations ----------------------------------------
+
+  /// Positive/negative cofactor: substitutes constant `value` for `var`
+  /// and rebuilds (re-hashed, re-simplified) in this manager.
+  Lit cofactor(Lit f, VarId var, bool value);
+
+  /// Simultaneous substitution of literals for variables (quantification
+  /// by substitution / "in-lining" from §3 of the paper). Variables not in
+  /// `map` are left untouched.
+  Lit compose(Lit f, const std::unordered_map<VarId, Lit>& map);
+
+  /// Rebuilds the cones of `roots` replacing whole internal nodes:
+  /// whenever a node id appears in `nodeMap`, the mapped literal is used
+  /// instead of the node (complement composed through). This is how the
+  /// sweeping and don't-care engines commit merges.
+  std::vector<Lit> rebuildWithNodeMap(
+      std::span<const Lit> roots,
+      const std::unordered_map<NodeId, Lit>& nodeMap);
+
+  // ----- simulation -----------------------------------------------------
+
+  /// 64-way parallel simulation of the cones of `roots`. `piWords` maps a
+  /// varId to its 64 input patterns; unmapped PIs simulate as all-zero.
+  /// Returns one 64-bit word per root.
+  [[nodiscard]] std::vector<std::uint64_t> simulate(
+      std::span<const Lit> roots,
+      const std::unordered_map<VarId, std::uint64_t>& piWords) const;
+
+  /// Single-pattern evaluation under a complete assignment.
+  [[nodiscard]] bool evaluate(
+      Lit root, const std::unordered_map<VarId, bool>& assignment) const;
+
+  // ----- transfer -------------------------------------------------------
+
+  /// Copies the cones of `roots` from `src` into this manager. PIs are
+  /// matched by varId; the result is structurally hashed afresh, so this
+  /// doubles as compaction into a clean manager.
+  std::vector<Lit> transferFrom(const Aig& src, std::span<const Lit> roots);
+
+ private:
+  static constexpr Lit kPiMark = Lit::fromRaw(0xffffffffu);
+
+  NodeId newNode(Lit f0, Lit f1, std::uint32_t level);
+  Lit mkAndRaw(Lit a, Lit b);  // hashing + one-level rules only
+  bool tryTwoLevel(Lit a, Lit b, Lit& out);
+
+  /// Generic iterative cone rebuild. `leaf(var)` supplies the literal that
+  /// replaces the PI with external id `var`; `nodeMap` (optional) replaces
+  /// whole nodes before their fanins are visited.
+  template <typename LeafFn>
+  std::vector<Lit> rebuild(std::span<const Lit> roots, LeafFn&& leaf,
+                           const std::unordered_map<NodeId, Lit>* nodeMap);
+
+  // Epoch-stamped visited marks (avoid O(n) clears per traversal).
+  void bumpEpoch() const;
+  [[nodiscard]] bool visited(NodeId n) const { return stamp_[n] == epoch_; }
+  void markVisited(NodeId n) const { stamp_[n] = epoch_; }
+
+  std::vector<Node> nodes_;
+  std::vector<NodeId> pis_;
+  std::unordered_map<VarId, NodeId> piByVar_;
+  std::unordered_map<std::uint64_t, NodeId> strash_;
+  bool twoLevel_ = true;
+
+  mutable std::vector<std::uint32_t> stamp_;
+  mutable std::uint32_t epoch_ = 0;
+};
+
+}  // namespace cbq::aig

@@ -1,0 +1,51 @@
+#include "aig/dot.hpp"
+
+#include <ostream>
+#include <unordered_set>
+
+namespace cbq::aig {
+
+void writeDot(const Aig& g, std::span<const Lit> roots, std::ostream& out,
+              const std::string& graphName) {
+  out << "digraph \"" << graphName << "\" {\n";
+  out << "  rankdir=BT;\n";
+  out << "  node [fontname=\"monospace\"];\n";
+
+  // Collect the cone plus its leaves.
+  const auto order = g.coneAnds(roots);
+  std::unordered_set<NodeId> leaves;
+  auto noteLeaf = [&](Lit l) {
+    if (!g.isAnd(l.node())) leaves.insert(l.node());
+  };
+  for (const Lit r : roots) noteLeaf(r);
+  for (const NodeId n : order) {
+    noteLeaf(g.fanin0(n));
+    noteLeaf(g.fanin1(n));
+  }
+
+  for (const NodeId n : leaves) {
+    if (g.isConst(n)) {
+      out << "  n" << n << " [shape=box,label=\"0\"];\n";
+    } else {
+      out << "  n" << n << " [shape=box,label=\"x" << g.piVar(n) << "\"];\n";
+    }
+  }
+  for (const NodeId n : order) {
+    out << "  n" << n << " [shape=ellipse,label=\"&\"];\n";
+    for (const Lit f : {g.fanin0(n), g.fanin1(n)}) {
+      out << "  n" << f.node() << " -> n" << n;
+      if (f.negated()) out << " [style=dashed]";
+      out << ";\n";
+    }
+  }
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    out << "  root" << i << " [shape=plaintext,label=\"root " << i
+        << "\"];\n";
+    out << "  n" << roots[i].node() << " -> root" << i;
+    if (roots[i].negated()) out << " [style=dashed]";
+    out << ";\n";
+  }
+  out << "}\n";
+}
+
+}  // namespace cbq::aig

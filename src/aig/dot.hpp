@@ -1,0 +1,19 @@
+#pragma once
+// Graphviz export of AIG cones — debugging/teaching aid for inspecting
+// what the quantifier's merge and optimization phases did to a state set.
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "aig/aig.hpp"
+
+namespace cbq::aig {
+
+/// Writes the cones of `roots` in Graphviz dot syntax. AND nodes are
+/// ellipses, PIs are boxes labelled with their varId, complemented edges
+/// are dashed, roots get labelled arrows.
+void writeDot(const Aig& g, std::span<const Lit> roots, std::ostream& out,
+              const std::string& graphName = "aig");
+
+}  // namespace cbq::aig

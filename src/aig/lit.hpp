@@ -1,0 +1,69 @@
+#pragma once
+// Literal type for And-Inverter Graphs.
+//
+// A literal is a node index plus a complement bit, packed AIGER-style into
+// one 32-bit word: raw = (node << 1) | negated. Node 0 is the constant-FALSE
+// node, so raw 0 is the FALSE literal and raw 1 is TRUE.
+
+#include <cstdint>
+#include <functional>
+
+namespace cbq::aig {
+
+/// Index of a node inside one Aig manager.
+using NodeId = std::uint32_t;
+
+/// A possibly-complemented reference to an AIG node.
+class Lit {
+ public:
+  /// Default-constructed literal is constant FALSE.
+  constexpr Lit() = default;
+
+  constexpr Lit(NodeId node, bool negated)
+      : raw_((node << 1) | static_cast<std::uint32_t>(negated)) {}
+
+  /// Rebuilds a literal from its packed representation.
+  static constexpr Lit fromRaw(std::uint32_t raw) {
+    Lit l;
+    l.raw_ = raw;
+    return l;
+  }
+
+  [[nodiscard]] constexpr std::uint32_t raw() const { return raw_; }
+  [[nodiscard]] constexpr NodeId node() const { return raw_ >> 1; }
+  [[nodiscard]] constexpr bool negated() const { return (raw_ & 1) != 0; }
+
+  /// Complemented literal.
+  constexpr Lit operator!() const { return fromRaw(raw_ ^ 1); }
+
+  /// Conditional complement: `l ^ true` flips, `l ^ false` is identity.
+  constexpr Lit operator^(bool flip) const {
+    return fromRaw(raw_ ^ static_cast<std::uint32_t>(flip));
+  }
+
+  /// The non-complemented literal on the same node.
+  [[nodiscard]] constexpr Lit positive() const { return fromRaw(raw_ & ~1u); }
+
+  constexpr bool operator==(const Lit&) const = default;
+  constexpr auto operator<=>(const Lit&) const = default;
+
+  [[nodiscard]] constexpr bool isConstant() const { return node() == 0; }
+  [[nodiscard]] constexpr bool isFalse() const { return raw_ == 0; }
+  [[nodiscard]] constexpr bool isTrue() const { return raw_ == 1; }
+
+ private:
+  std::uint32_t raw_ = 0;
+};
+
+/// Constant literals shared by every manager (node 0 is always the constant).
+inline constexpr Lit kFalse = Lit::fromRaw(0);
+inline constexpr Lit kTrue = Lit::fromRaw(1);
+
+}  // namespace cbq::aig
+
+template <>
+struct std::hash<cbq::aig::Lit> {
+  std::size_t operator()(const cbq::aig::Lit& l) const noexcept {
+    return std::hash<std::uint32_t>{}(l.raw());
+  }
+};

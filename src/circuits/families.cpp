@@ -1,0 +1,405 @@
+#include "circuits/families.hpp"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace cbq::circuits {
+
+namespace {
+
+using aig::Lit;
+using mc::Network;
+using mc::NetworkBuilder;
+
+/// True iff the bit vector equals the constant `value` (LSB first).
+Lit equalsConst(aig::Aig& g, std::span<const Lit> bits, std::uint64_t value) {
+  std::vector<Lit> terms;
+  terms.reserve(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const bool bit = ((value >> i) & 1) != 0;
+    terms.push_back(bits[i] ^ !bit);
+  }
+  return g.mkAndAll(terms);
+}
+
+/// bits + 1 with wrap-around (ripple carry).
+std::vector<Lit> incremented(aig::Aig& g, std::span<const Lit> bits) {
+  std::vector<Lit> out;
+  out.reserve(bits.size());
+  Lit carry = aig::kTrue;
+  for (const Lit b : bits) {
+    out.push_back(g.mkXor(b, carry));
+    carry = g.mkAnd(b, carry);
+  }
+  return out;
+}
+
+/// bits - 1 with wrap-around (ripple borrow).
+std::vector<Lit> decremented(aig::Aig& g, std::span<const Lit> bits) {
+  std::vector<Lit> out;
+  out.reserve(bits.size());
+  Lit borrow = aig::kTrue;
+  for (const Lit b : bits) {
+    out.push_back(g.mkXor(b, borrow));
+    borrow = g.mkAnd(!b, borrow);
+  }
+  return out;
+}
+
+/// At least two of the literals are true (pairwise conflict).
+Lit twoOrMore(aig::Aig& g, std::span<const Lit> bits) {
+  std::vector<Lit> pairs;
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    for (std::size_t j = i + 1; j < bits.size(); ++j)
+      pairs.push_back(g.mkAnd(bits[i], bits[j]));
+  return g.mkOrAll(pairs);
+}
+
+/// Per-bit multiplexed update: latch' = sel ? a : b.
+std::vector<Lit> muxVec(aig::Aig& g, Lit sel, std::span<const Lit> a,
+                        std::span<const Lit> b) {
+  std::vector<Lit> out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    out.push_back(g.mkMux(sel, a[i], b[i]));
+  return out;
+}
+
+}  // namespace
+
+Network makeCounter(int n, bool safe) {
+  assert(n >= 2);
+  NetworkBuilder b(std::string("counter") + (safe ? "-safe-" : "-buggy-") +
+                   std::to_string(n));
+  std::vector<Lit> s;
+  for (int i = 0; i < n; ++i) s.push_back(b.addLatch(false));
+  const Lit en = b.addInput();
+  aig::Aig& g = b.aig();
+
+  const std::uint64_t allOnes = (std::uint64_t{1} << n) - 1;
+  auto inc = incremented(g, s);
+  if (safe) {
+    // Wrap one short of all-ones: the bad value falls out of the orbit.
+    const Lit atWrap = equalsConst(g, s, allOnes - 1);
+    for (auto& bit : inc) bit = g.mkAnd(bit, !atWrap);
+  }
+  const auto next = muxVec(g, en, inc, s);
+  for (int i = 0; i < n; ++i) b.setNext(static_cast<std::size_t>(i), next[i]);
+  b.setBad(equalsConst(g, s, allOnes));
+  return b.finish();
+}
+
+Network makeEvenCounter(int n, bool safe) {
+  assert(n >= 2);
+  NetworkBuilder b(std::string("evencount") + (safe ? "-safe-" : "-buggy-") +
+                   std::to_string(n));
+  std::vector<Lit> s;
+  for (int i = 0; i < n; ++i) s.push_back(b.addLatch(false));
+  const Lit en = b.addInput();
+  aig::Aig& g = b.aig();
+
+  // +2: ripple carry injected at bit 1; bit 0 never changes.
+  std::vector<Lit> inc2{s[0]};
+  Lit carry = aig::kTrue;
+  for (int i = 1; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    inc2.push_back(g.mkXor(s[idx], carry));
+    carry = g.mkAnd(s[idx], carry);
+  }
+  const auto next = muxVec(g, en, inc2, s);
+  for (int i = 0; i < n; ++i) b.setNext(static_cast<std::size_t>(i), next[i]);
+
+  const std::uint64_t allOnes = (std::uint64_t{1} << n) - 1;
+  // Safe: all-ones is odd and the counter stays even. Unsafe: the largest
+  // even value, reached after 2^(n-1)-1 enabled steps.
+  b.setBad(equalsConst(g, s, safe ? allOnes : allOnes - 1));
+  return b.finish();
+}
+
+Network makeGrayPair(int n, bool safe) {
+  assert(n >= 2);
+  NetworkBuilder b(std::string("gray") + (safe ? "-safe-" : "-buggy-") +
+                   std::to_string(n));
+  std::vector<Lit> bin;
+  std::vector<Lit> gray;
+  for (int i = 0; i < n; ++i) bin.push_back(b.addLatch(false));
+  for (int i = 0; i < n; ++i) gray.push_back(b.addLatch(false));
+  const Lit en = b.addInput();
+  aig::Aig& g = b.aig();
+
+  auto toGray = [&](std::span<const Lit> v) {
+    std::vector<Lit> out;
+    for (int i = 0; i < n; ++i) {
+      out.push_back(i + 1 < n ? g.mkXor(v[static_cast<std::size_t>(i)],
+                                        v[static_cast<std::size_t>(i + 1)])
+                              : v[static_cast<std::size_t>(i)]);
+    }
+    return out;
+  };
+
+  const auto binInc = incremented(g, bin);
+  const auto binNext = muxVec(g, en, binInc, bin);
+  auto grayNext = toGray(binNext);
+  if (!safe) grayNext[0] = binNext[0];  // dropped XOR in the Gray update
+
+  for (int i = 0; i < n; ++i) {
+    b.setNext(static_cast<std::size_t>(i), binNext[static_cast<std::size_t>(i)]);
+    b.setNext(static_cast<std::size_t>(n + i),
+              grayNext[static_cast<std::size_t>(i)]);
+  }
+
+  // bad: gray register deviates from binToGray(bin).
+  const auto expected = toGray(bin);
+  std::vector<Lit> diffs;
+  for (int i = 0; i < n; ++i)
+    diffs.push_back(g.mkXor(gray[static_cast<std::size_t>(i)],
+                            expected[static_cast<std::size_t>(i)]));
+  b.setBad(g.mkOrAll(diffs));
+  return b.finish();
+}
+
+Network makeTokenRing(int n, bool safe) {
+  assert(n >= 2);
+  NetworkBuilder b(std::string("ring") + (safe ? "-safe-" : "-buggy-") +
+                   std::to_string(n));
+  std::vector<Lit> t;
+  for (int i = 0; i < n; ++i) t.push_back(b.addLatch(i == 0));
+  const Lit inject = b.addInput();
+  aig::Aig& g = b.aig();
+
+  Lit head = t[static_cast<std::size_t>(n - 1)];
+  if (!safe) head = g.mkOr(head, inject);  // spurious token injection
+  b.setNext(0, head);
+  for (int i = 1; i < n; ++i)
+    b.setNext(static_cast<std::size_t>(i), t[static_cast<std::size_t>(i - 1)]);
+  b.setBad(twoOrMore(g, t));
+  return b.finish();
+}
+
+Network makeArbiter(int n, bool safe) {
+  assert(n >= 2);
+  NetworkBuilder b(std::string("arbiter") + (safe ? "-safe-" : "-buggy-") +
+                   std::to_string(n));
+  std::vector<Lit> t;
+  for (int i = 0; i < n; ++i) t.push_back(b.addLatch(i == 0));
+  std::vector<Lit> req;
+  for (int i = 0; i < n; ++i) req.push_back(b.addInput());
+  aig::Aig& g = b.aig();
+
+  // Rotating one-hot token.
+  b.setNext(0, t[static_cast<std::size_t>(n - 1)]);
+  for (int i = 1; i < n; ++i)
+    b.setNext(static_cast<std::size_t>(i), t[static_cast<std::size_t>(i - 1)]);
+
+  std::vector<Lit> grants;
+  for (int i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    grants.push_back((i == 0 && !safe) ? req[idx]  // token check forgotten
+                                       : g.mkAnd(req[idx], t[idx]));
+  }
+  b.setBad(twoOrMore(g, grants));
+  return b.finish();
+}
+
+Network makeTrafficLight(bool safe) {
+  NetworkBuilder b(std::string("traffic") + (safe ? "-safe" : "-buggy"));
+  const Lit p0 = b.addLatch(false);
+  const Lit p1 = b.addLatch(false);
+  const Lit ns = b.addLatch(true);   // north-south green in phase 0
+  const Lit ew = b.addLatch(false);  // east-west green in phase 2
+  const Lit adv = b.addInput();
+  aig::Aig& g = b.aig();
+
+  const Lit phase[] = {p0, p1};
+  const auto phaseInc = incremented(g, phase);
+  const auto phaseNext = muxVec(g, adv, phaseInc, phase);
+
+  const Lit nextIsPhase0 = g.mkAnd(!phaseNext[0], !phaseNext[1]);
+  const Lit nextIsPhase2 = g.mkAnd(!phaseNext[0], phaseNext[1]);
+
+  b.setNextOf(p0, phaseNext[0]);
+  b.setNextOf(p1, phaseNext[1]);
+  b.setNextOf(ns, nextIsPhase0);
+  b.setNextOf(ew, safe ? nextIsPhase2 : g.mkOr(nextIsPhase2, nextIsPhase0));
+  b.setBad(g.mkAnd(ns, ew));
+  return b.finish();
+}
+
+Network makeLfsr(int n, bool safe, int unsafeDepth) {
+  assert(n >= 2);
+  NetworkBuilder b(std::string("lfsr") + (safe ? "-safe-" : "-buggy-") +
+                   std::to_string(n));
+  std::vector<Lit> s;
+  for (int i = 0; i < n; ++i) s.push_back(b.addLatch(i == 0));  // seed = 1
+  const Lit en = b.addInput();
+  aig::Aig& g = b.aig();
+
+  const int tap = n >= 3 ? n - 3 : 0;
+  const Lit feedback =
+      g.mkXor(s[static_cast<std::size_t>(n - 1)],
+              s[static_cast<std::size_t>(tap)]);
+  std::vector<Lit> shifted{feedback};
+  for (int i = 1; i < n; ++i)
+    shifted.push_back(s[static_cast<std::size_t>(i - 1)]);
+  const auto next = muxVec(g, en, shifted, s);
+  for (int i = 0; i < n; ++i) b.setNext(static_cast<std::size_t>(i), next[i]);
+
+  std::uint64_t badValue = 0;
+  if (!safe) {
+    // Simulate the LFSR in software; whatever state we land on is
+    // reachable by construction (en = 1 for `unsafeDepth` steps).
+    std::uint64_t st = 1;
+    for (int step = 0; step < unsafeDepth; ++step) {
+      const std::uint64_t fb = ((st >> (n - 1)) ^ (st >> tap)) & 1;
+      st = ((st << 1) | fb) & ((std::uint64_t{1} << n) - 1);
+    }
+    badValue = st;
+  }
+  // Safe: the update is an invertible linear map with fixed point 0, so a
+  // non-zero seed can never reach 0.
+  b.setBad(equalsConst(g, s, badValue));
+  return b.finish();
+}
+
+Network makeQueue(int n, bool safe) {
+  assert(n >= 2);
+  NetworkBuilder b(std::string("queue") + (safe ? "-safe-" : "-buggy-") +
+                   std::to_string(n));
+  std::vector<Lit> cnt;
+  for (int i = 0; i < n; ++i) cnt.push_back(b.addLatch(false));
+  Lit fullReg = aig::kFalse;
+  if (!safe) fullReg = b.addLatch(false);
+  const Lit inc = b.addInput();
+  const Lit dec = b.addInput();
+  aig::Aig& g = b.aig();
+
+  const std::uint64_t cap = (std::uint64_t{1} << n) - 2;
+  const Lit empty = equalsConst(g, cnt, 0);
+  const Lit fullComb = equalsConst(g, cnt, cap);
+  // The planted bug: the guard sees last cycle's full flag.
+  const Lit full = safe ? fullComb : fullReg;
+
+  const Lit doInc = g.mkAnd(inc, !full);
+  const Lit doDec = g.mkAnd(dec, !empty);
+  const Lit incOnly = g.mkAnd(doInc, !doDec);
+  const Lit decOnly = g.mkAnd(doDec, !doInc);
+
+  const auto up = incremented(g, cnt);
+  const auto down = decremented(g, cnt);
+  for (int i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    b.setNext(idx, g.mkMux(incOnly, up[idx], g.mkMux(decOnly, down[idx],
+                                                     cnt[idx])));
+  }
+  if (!safe) b.setNextOf(fullReg, fullComb);
+  b.setBad(equalsConst(g, cnt, cap + 1));
+  return b.finish();
+}
+
+Network makeMultiplier(int k, bool safe) {
+  assert(k >= 2);
+  NetworkBuilder b(std::string("mult") + (safe ? "-safe-" : "-buggy-") +
+                   std::to_string(k));
+  std::vector<Lit> a;
+  std::vector<Lit> bb;
+  for (int i = 0; i < k; ++i) a.push_back(b.addLatch(i == 0));   // one-hot
+  for (int i = 0; i < k; ++i) bb.push_back(b.addLatch(i == 0));  // const 1
+  const Lit en = b.addInput();
+  aig::Aig& g = b.aig();
+
+  // a rotates left under enable; b holds its value.
+  for (int i = 0; i < k; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const Lit rotated = a[static_cast<std::size_t>((i + k - 1) % k)];
+    b.setNext(idx, g.mkMux(en, rotated, a[idx]));
+    b.setNext(static_cast<std::size_t>(k + i), bb[idx]);
+  }
+
+  // Shift-add multiplier, product mod 2^k: acc += a_i ? (b << i) : 0.
+  std::vector<Lit> acc(static_cast<std::size_t>(k), aig::kFalse);
+  for (int i = 0; i < k; ++i) {
+    // Addend: (b << i) gated by a_i, ripple-added into acc.
+    Lit carry = aig::kFalse;
+    for (int j = i; j < k; ++j) {
+      const auto jj = static_cast<std::size_t>(j);
+      const Lit addBit =
+          g.mkAnd(a[static_cast<std::size_t>(i)],
+                  bb[static_cast<std::size_t>(j - i)]);
+      const Lit sum = g.mkXor(g.mkXor(acc[jj], addBit), carry);
+      carry = g.mkOr(g.mkAnd(acc[jj], addBit),
+                     g.mkAnd(carry, g.mkOr(acc[jj], addBit)));
+      acc[jj] = sum;
+    }
+  }
+  const Lit middleBit = acc[static_cast<std::size_t>(k - 1)];
+
+  // Safe: require a == 3 (two adjacent one-bits) — unreachable since `a`
+  // stays one-hot, yet the bad set is non-empty and carries the full
+  // multiplier structure through every pre-image.
+  b.setBad(safe ? g.mkAnd(middleBit, equalsConst(g, a, 3)) : middleBit);
+  return b.finish();
+}
+
+Network makePeterson(bool safe) {
+  NetworkBuilder b(std::string("peterson") + (safe ? "-safe" : "-buggy"));
+  // Program counters: 00 idle, 01 trying, 10 critical.
+  const Lit pc0lo = b.addLatch(false);
+  const Lit pc0hi = b.addLatch(false);
+  const Lit pc1lo = b.addLatch(false);
+  const Lit pc1hi = b.addLatch(false);
+  const Lit turn = b.addLatch(false);
+  const Lit w0 = b.addInput();
+  const Lit w1 = b.addInput();
+  const Lit sched = b.addInput();  // 0: process 0 steps; 1: process 1 steps
+  aig::Aig& g = b.aig();
+
+  struct Proc {
+    Lit lo, hi, want, active;
+    bool id;
+  };
+  const Proc procs[2] = {{pc0lo, pc0hi, w0, !sched, false},
+                         {pc1lo, pc1hi, w1, sched, true}};
+
+  // Flags are derived from the program counters. The planted bug: the
+  // flag drops while the process is in the critical section.
+  auto flagOf = [&](const Proc& p) {
+    return safe ? g.mkOr(p.lo, p.hi)          // pc != idle
+                : g.mkAnd(p.lo, !p.hi);       // pc == trying only
+  };
+  const Lit flag[2] = {flagOf(procs[0]), flagOf(procs[1])};
+
+  Lit turnNext = turn;
+  for (int i = 0; i < 2; ++i) {
+    const Proc& p = procs[i];
+    const Lit flagOther = flag[1 - i];
+    const Lit turnIsMine = p.id ? turn : !turn;
+
+    const Lit isIdle = g.mkAnd(!p.lo, !p.hi);
+    const Lit isTrying = g.mkAnd(p.lo, !p.hi);
+    const Lit isCrit = g.mkAnd(!p.lo, p.hi);
+
+    const Lit go1 = g.mkAnd(isIdle, p.want);                    // -> trying
+    const Lit canEnter = g.mkOr(!flagOther, turnIsMine);
+    const Lit go2 = g.mkAnd(isTrying, canEnter);                // -> critical
+    const Lit go0 = isCrit;                                     // release
+
+    // Next pc when this process is scheduled.
+    const Lit loStep = g.mkOr(go1, g.mkAnd(!go2, g.mkAnd(!go0, p.lo)));
+    const Lit hiStep = g.mkOr(go2, g.mkAnd(!go0, g.mkAnd(!go1, p.hi)));
+    b.setNextOf(p.lo, g.mkMux(p.active, loStep, p.lo));
+    b.setNextOf(p.hi, g.mkMux(p.active, hiStep, p.hi));
+
+    // Entering the trying section yields the turn to the other process.
+    const Lit yield = g.mkAnd(p.active, go1);
+    turnNext = g.mkMux(yield, p.id ? aig::kFalse : aig::kTrue, turnNext);
+  }
+  b.setNextOf(turn, turnNext);
+
+  const Lit crit0 = g.mkAnd(!pc0lo, pc0hi);
+  const Lit crit1 = g.mkAnd(!pc1lo, pc1hi);
+  b.setBad(g.mkAnd(crit0, crit1));
+  return b.finish();
+}
+
+}  // namespace cbq::circuits

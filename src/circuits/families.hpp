@@ -1,0 +1,81 @@
+#pragma once
+// Parametric benchmark families.
+//
+// The paper evaluates on "hard-to-verify circuits and properties" from the
+// usual (industrial/ISCAS) pools, which are not redistributable; these
+// eight families synthesize the same structural spectrum — datapath
+// counters with long diameters, linear-feedback machines, one-hot control,
+// handshake/guard logic and a real mutual-exclusion protocol — each with a
+// SAFE variant (the invariant holds; provable by fixpoint or induction)
+// and an UNSAFE variant (a planted, realistic bug; a counterexample
+// exists at a family-dependent depth).
+
+#include <cstdint>
+
+#include "mc/network.hpp"
+
+namespace cbq::circuits {
+
+/// n-bit enabled counter. Safe: wraps from 2^n-2 to 0, so the all-ones
+/// value is unreachable (bad = all-ones). Unsafe: wraps at 2^n-1; bad is
+/// reached after 2^n-1 increments.
+mc::Network makeCounter(int n, bool safe);
+
+/// n-bit counter that steps by +2 (the LSB is frozen at 0). Safe: bad is
+/// the all-ones value — odd, hence unreachable, but backward reachability
+/// must enumerate the whole odd chain one pre-image at a time before the
+/// fixpoint closes (~2^(n-1) iterations with steadily growing state
+/// sets). This is the family that stresses the merge/optimization phases.
+/// Unsafe: bad = 2^n-2 (even), reachable after 2^(n-1)-1 increments.
+mc::Network makeEvenCounter(int n, bool safe);
+
+/// Binary counter paired with a Gray-code register stepping in lock-step.
+/// bad = (gray != binToGray(bin)) — a relational invariant. The unsafe
+/// variant omits one XOR in the Gray update.
+mc::Network makeGrayPair(int n, bool safe);
+
+/// One-hot token ring of n stages, one token at reset. bad = two tokens.
+/// The unsafe variant lets an external request inject a spurious token.
+mc::Network makeTokenRing(int n, bool safe);
+
+/// Round-robin arbiter: a rotating one-hot token gates the grants.
+/// bad = two simultaneous grants. The unsafe variant grants client 0
+/// combinationally, ignoring the token.
+mc::Network makeArbiter(int n, bool safe);
+
+/// Two-phase traffic-light controller (2-bit phase, per-light latches).
+/// bad = both directions green. The unsafe variant also lights the
+/// east-west lamp in phase 0.
+mc::Network makeTrafficLight(bool safe);
+
+/// n-bit Fibonacci LFSR seeded with 1. Safe: bad = (state == 0), which is
+/// unreachable because the update map is invertible. Unsafe: bad compares
+/// against the state reached after `unsafeDepth` steps (computed by
+/// simulation at generation time, so it is reachable by construction).
+mc::Network makeLfsr(int n, bool safe, int unsafeDepth = 11);
+
+/// Bounded queue controller: n-bit occupancy counter with inc/dec inputs
+/// and full/empty guards; capacity 2^n-2. bad = occupancy == 2^n-1.
+/// The unsafe variant registers the `full` flag one cycle late — a
+/// classic pipelined-guard overflow bug.
+mc::Network makeQueue(int n, bool safe);
+
+/// Multiplier self-check — the BDD-killer family. State: a rotating
+/// one-hot register `a` (k bits) and a constant register `b` (init 1).
+/// bad reads the **middle bit of the k×k product a·b**, computed by a
+/// full shift-add array: every BDD of that function is exponential in k
+/// regardless of variable order, while the AIG stays at O(k²) nodes —
+/// the paper's §1 motivation in its purest form. Safe: bad additionally
+/// requires a == 3 (two adjacent bits), unreachable because `a` stays
+/// one-hot, while the bad set itself stays non-empty and
+/// multiplier-shaped. Unsafe: bad = middle bit alone, first true after
+/// k-1 rotations.
+mc::Network makeMultiplier(int k, bool safe);
+
+/// Peterson's mutual-exclusion protocol for two processes (program
+/// counters, flags, turn; scheduler + request inputs). bad = both in the
+/// critical section. The unsafe variant lowers a process's flag while it
+/// is inside the critical section.
+mc::Network makePeterson(bool safe);
+
+}  // namespace cbq::circuits

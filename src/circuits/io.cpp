@@ -1,0 +1,533 @@
+#include "circuits/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace cbq::circuits {
+
+namespace {
+
+using aig::Lit;
+using aig::VarId;
+using mc::Network;
+
+// ----- AIGER ASCII ----------------------------------------------------------
+
+struct AagAnd {
+  unsigned lhs, rhs0, rhs1;
+};
+
+}  // namespace
+
+mc::Network readAag(std::istream& in, std::string name) {
+  std::string magic;
+  unsigned m = 0;
+  unsigned i = 0;
+  unsigned l = 0;
+  unsigned o = 0;
+  unsigned a = 0;
+  in >> magic >> m >> i >> l >> o >> a;
+  if (magic != "aag") throw ParseError("not an ascii AIGER file");
+
+  Network net;
+  net.name = std::move(name);
+
+  std::vector<unsigned> inputLits(i);
+  for (auto& x : inputLits) in >> x;
+
+  struct LatchDef {
+    unsigned lit, next;
+    bool init;
+  };
+  std::vector<LatchDef> latches(l);
+  {
+    std::string line;
+    std::getline(in, line);  // finish header/input line
+    for (auto& ld : latches) {
+      std::getline(in, line);
+      std::istringstream ls(line);
+      ld.init = false;
+      unsigned init = 0;
+      if (!(ls >> ld.lit >> ld.next)) throw ParseError("bad latch line");
+      if (ls >> init) ld.init = (init != 0);
+    }
+    std::vector<unsigned> outputs(o);
+    for (auto& x : outputs) in >> x;
+    std::vector<AagAnd> ands(a);
+    for (auto& g : ands) in >> g.lhs >> g.rhs0 >> g.rhs1;
+    if (!in) throw ParseError("truncated AIGER file");
+
+    // Variable kind table.
+    enum class Kind : std::uint8_t { Undefined, Input, Latch, And };
+    std::vector<Kind> kind(m + 1, Kind::Undefined);
+    std::vector<Lit> value(m + 1, aig::kFalse);
+    std::vector<bool> ready(m + 1, false);
+    ready[0] = true;  // constant
+
+    for (const unsigned x : inputLits) {
+      if ((x & 1) || x / 2 > m) throw ParseError("bad input literal");
+      kind[x / 2] = Kind::Input;
+      net.inputVars.push_back(x / 2);
+      value[x / 2] = net.aig.pi(x / 2);
+      ready[x / 2] = true;
+    }
+    for (const auto& ld : latches) {
+      if ((ld.lit & 1) || ld.lit / 2 > m) throw ParseError("bad latch literal");
+      kind[ld.lit / 2] = Kind::Latch;
+      net.stateVars.push_back(ld.lit / 2);
+      net.init.push_back(ld.init);
+      value[ld.lit / 2] = net.aig.pi(ld.lit / 2);
+      ready[ld.lit / 2] = true;
+    }
+    for (const auto& g : ands) {
+      if ((g.lhs & 1) || g.lhs / 2 > m || kind[g.lhs / 2] != Kind::Undefined)
+        throw ParseError("bad AND definition");
+      kind[g.lhs / 2] = Kind::And;
+    }
+
+    auto litOf = [&](unsigned x) -> Lit {
+      return value[x / 2] ^ ((x & 1) != 0);
+    };
+
+    // Worklist resolution (files need not be topologically sorted).
+    std::vector<AagAnd> pending(ands.begin(), ands.end());
+    while (!pending.empty()) {
+      const std::size_t before = pending.size();
+      std::erase_if(pending, [&](const AagAnd& g) {
+        if (!ready[g.rhs0 / 2] || !ready[g.rhs1 / 2]) return false;
+        value[g.lhs / 2] = net.aig.mkAnd(litOf(g.rhs0), litOf(g.rhs1));
+        ready[g.lhs / 2] = true;
+        return true;
+      });
+      if (pending.size() == before)
+        throw ParseError("cyclic or undefined AND gates");
+    }
+
+    net.next.reserve(latches.size());
+    for (const auto& ld : latches) {
+      if (!ready[ld.next / 2]) throw ParseError("undefined latch next-state");
+      net.next.push_back(litOf(ld.next));
+    }
+    std::vector<Lit> bads;
+    bads.reserve(outputs.size());
+    for (const unsigned x : outputs) {
+      if (!ready[x / 2]) throw ParseError("undefined output");
+      bads.push_back(litOf(x));
+    }
+    net.bad = net.aig.mkOrAll(bads);
+  }
+  if (!net.wellFormed()) throw ParseError("malformed AIGER network");
+  return net;
+}
+
+void writeAag(const Network& net, std::ostream& out) {
+  // Assign AIGER variable indices: inputs, latches, then AND nodes of the
+  // live cones in topological order.
+  std::unordered_map<VarId, unsigned> piIndex;
+  unsigned nextIdx = 1;
+  for (const VarId v : net.inputVars) piIndex.emplace(v, nextIdx++);
+  for (const VarId v : net.stateVars) piIndex.emplace(v, nextIdx++);
+
+  std::vector<Lit> roots(net.next.begin(), net.next.end());
+  roots.push_back(net.bad);
+  const auto order = net.aig.coneAnds(roots);
+
+  std::unordered_map<aig::NodeId, unsigned> andIndex;
+  for (const aig::NodeId n : order) andIndex.emplace(n, nextIdx++);
+
+  auto litCode = [&](Lit l) -> unsigned {
+    unsigned var = 0;
+    if (net.aig.isConst(l.node())) {
+      var = 0;
+    } else if (net.aig.isPi(l.node())) {
+      var = piIndex.at(net.aig.piVar(l.node()));
+    } else {
+      var = andIndex.at(l.node());
+    }
+    return 2 * var + (l.negated() ? 1 : 0);
+  };
+
+  const unsigned m = nextIdx - 1;
+  out << "aag " << m << ' ' << net.inputVars.size() << ' '
+      << net.stateVars.size() << " 1 " << order.size() << '\n';
+  for (const VarId v : net.inputVars) out << 2 * piIndex.at(v) << '\n';
+  for (std::size_t j = 0; j < net.stateVars.size(); ++j) {
+    out << 2 * piIndex.at(net.stateVars[j]) << ' ' << litCode(net.next[j]);
+    if (net.init[j]) out << " 1";
+    out << '\n';
+  }
+  out << litCode(net.bad) << '\n';
+  for (const aig::NodeId n : order) {
+    out << 2 * andIndex.at(n) << ' ' << litCode(net.aig.fanin0(n)) << ' '
+        << litCode(net.aig.fanin1(n)) << '\n';
+  }
+}
+
+// ----- AIGER binary -----------------------------------------------------------
+
+namespace {
+
+/// LEB128-style varint used by the AIGER binary AND section.
+unsigned readDelta(std::istream& in) {
+  unsigned x = 0;
+  int shift = 0;
+  for (;;) {
+    const int ch = in.get();
+    if (ch == EOF) throw ParseError("truncated binary AND section");
+    x |= static_cast<unsigned>(ch & 0x7f) << shift;
+    if ((ch & 0x80) == 0) break;
+    shift += 7;
+    if (shift > 28) throw ParseError("oversized delta in binary AIGER");
+  }
+  return x;
+}
+
+void writeDelta(std::ostream& out, unsigned x) {
+  while (x >= 0x80) {
+    out.put(static_cast<char>((x & 0x7f) | 0x80));
+    x >>= 7;
+  }
+  out.put(static_cast<char>(x));
+}
+
+}  // namespace
+
+mc::Network readAigBinary(std::istream& in, std::string name) {
+  std::string magic;
+  unsigned m = 0;
+  unsigned i = 0;
+  unsigned l = 0;
+  unsigned o = 0;
+  unsigned a = 0;
+  in >> magic >> m >> i >> l >> o >> a;
+  if (magic != "aig") throw ParseError("not a binary AIGER file");
+  if (m != i + l + a) throw ParseError("inconsistent binary AIGER header");
+
+  Network net;
+  net.name = std::move(name);
+
+  // Inputs are implicit: variables 1..I.
+  std::vector<Lit> value(m + 1, aig::kFalse);
+  for (unsigned k = 1; k <= i; ++k) {
+    net.inputVars.push_back(k);
+    value[k] = net.aig.pi(k);
+  }
+  // Latches are implicit variables I+1..I+L; their lines carry next [init].
+  std::string line;
+  std::getline(in, line);  // rest of header
+  struct LatchDef {
+    unsigned next;
+    bool init;
+  };
+  std::vector<LatchDef> latches(l);
+  for (unsigned k = 0; k < l; ++k) {
+    std::getline(in, line);
+    std::istringstream ls(line);
+    unsigned init = 0;
+    if (!(ls >> latches[k].next)) throw ParseError("bad binary latch line");
+    latches[k].init = (ls >> init) && init != 0;
+    const unsigned var = i + 1 + k;
+    net.stateVars.push_back(var);
+    net.init.push_back(latches[k].init);
+    value[var] = net.aig.pi(var);
+  }
+  std::vector<unsigned> outputs(o);
+  for (auto& x : outputs) {
+    std::getline(in, line);
+    std::istringstream ls(line);
+    if (!(ls >> x)) throw ParseError("bad binary output line");
+  }
+
+  auto litOf = [&](unsigned x) -> Lit {
+    if (x / 2 > m) throw ParseError("literal out of range");
+    return value[x / 2] ^ ((x & 1) != 0);
+  };
+
+  // Binary AND section: lhs implicit (2*(I+L+k+1)), rhs delta-encoded;
+  // the format guarantees topological order.
+  for (unsigned k = 0; k < a; ++k) {
+    const unsigned lhs = 2 * (i + l + 1 + k);
+    const unsigned delta0 = readDelta(in);
+    const unsigned delta1 = readDelta(in);
+    if (delta0 > lhs) throw ParseError("invalid delta0");
+    const unsigned rhs0 = lhs - delta0;
+    if (delta1 > rhs0) throw ParseError("invalid delta1");
+    const unsigned rhs1 = rhs0 - delta1;
+    value[lhs / 2] = net.aig.mkAnd(litOf(rhs0), litOf(rhs1));
+  }
+
+  net.next.reserve(l);
+  for (const auto& ld : latches) net.next.push_back(litOf(ld.next));
+  std::vector<Lit> bads;
+  for (const unsigned x : outputs) bads.push_back(litOf(x));
+  net.bad = net.aig.mkOrAll(bads);
+  if (!net.wellFormed()) throw ParseError("malformed binary AIGER network");
+  return net;
+}
+
+void writeAigBinary(const Network& net, std::ostream& out) {
+  // Variable order required by the format: inputs, latches, ANDs (topo).
+  std::unordered_map<VarId, unsigned> piIndex;
+  unsigned nextIdx = 1;
+  for (const VarId v : net.inputVars) piIndex.emplace(v, nextIdx++);
+  for (const VarId v : net.stateVars) piIndex.emplace(v, nextIdx++);
+
+  std::vector<Lit> roots(net.next.begin(), net.next.end());
+  roots.push_back(net.bad);
+  const auto order = net.aig.coneAnds(roots);
+  std::unordered_map<aig::NodeId, unsigned> andIndex;
+  for (const aig::NodeId n : order) andIndex.emplace(n, nextIdx++);
+
+  auto litCode = [&](Lit l) -> unsigned {
+    unsigned var = 0;
+    if (net.aig.isPi(l.node())) {
+      var = piIndex.at(net.aig.piVar(l.node()));
+    } else if (net.aig.isAnd(l.node())) {
+      var = andIndex.at(l.node());
+    }
+    return 2 * var + (l.negated() ? 1 : 0);
+  };
+
+  const unsigned m = nextIdx - 1;
+  out << "aig " << m << ' ' << net.inputVars.size() << ' '
+      << net.stateVars.size() << " 1 " << order.size() << '\n';
+  for (std::size_t j = 0; j < net.stateVars.size(); ++j) {
+    out << litCode(net.next[j]);
+    if (net.init[j]) out << " 1";
+    out << '\n';
+  }
+  out << litCode(net.bad) << '\n';
+  for (const aig::NodeId n : order) {
+    const unsigned lhs = 2 * andIndex.at(n);
+    unsigned rhs0 = litCode(net.aig.fanin0(n));
+    unsigned rhs1 = litCode(net.aig.fanin1(n));
+    if (rhs0 < rhs1) std::swap(rhs0, rhs1);  // format: rhs0 >= rhs1
+    writeDelta(out, lhs - rhs0);
+    writeDelta(out, rhs0 - rhs1);
+  }
+}
+
+// ----- ISCAS .bench -----------------------------------------------------------
+
+mc::Network readBench(std::istream& in, std::string name) {
+  Network net;
+  net.name = std::move(name);
+
+  struct GateDef {
+    std::string out;
+    std::string op;
+    std::vector<std::string> args;
+  };
+  std::vector<GateDef> gates;
+  std::vector<std::string> outputs;
+  std::vector<std::pair<std::string, std::string>> dffs;  // (q, d)
+  std::unordered_map<std::string, Lit> signal;
+  std::unordered_map<std::string, bool> initOne;
+  VarId nextVar = 0;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    // Comments — including our `# init <name> = 1` extension.
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      std::istringstream cs(line.substr(hash + 1));
+      std::string word;
+      cs >> word;
+      if (word == "init") {
+        std::string latchName;
+        std::string eq;
+        int value = 0;
+        if (cs >> latchName >> eq >> value && eq == "=")
+          initOne[latchName] = (value != 0);
+      }
+      line.erase(hash);
+    }
+    // Tokenize NAME = OP(a, b, ...) or INPUT(x) / OUTPUT(x).
+    for (auto& c : line)
+      if (c == '(' || c == ')' || c == ',' || c == '=') c = ' ';
+    std::istringstream ls(line);
+    std::vector<std::string> tok;
+    std::string t;
+    while (ls >> t) tok.push_back(t);
+    if (tok.empty()) continue;
+
+    auto upper = [](std::string s) {
+      std::transform(s.begin(), s.end(), s.begin(),
+                     [](unsigned char c) { return std::toupper(c); });
+      return s;
+    };
+
+    if (upper(tok[0]) == "INPUT" && tok.size() == 2) {
+      const VarId v = nextVar++;
+      net.inputVars.push_back(v);
+      signal.emplace(tok[1], net.aig.pi(v));
+    } else if (upper(tok[0]) == "OUTPUT" && tok.size() == 2) {
+      outputs.push_back(tok[1]);
+    } else if (tok.size() >= 3 && upper(tok[1]) == "DFF") {
+      dffs.emplace_back(tok[0], tok[2]);
+      const VarId v = nextVar++;
+      net.stateVars.push_back(v);
+      signal.emplace(tok[0], net.aig.pi(v));
+    } else if (tok.size() >= 3) {
+      GateDef g;
+      g.out = tok[0];
+      g.op = upper(tok[1]);
+      g.args.assign(tok.begin() + 2, tok.end());
+      gates.push_back(std::move(g));
+    } else {
+      throw ParseError("unparsable .bench line: " + line);
+    }
+  }
+
+  // Worklist resolution of combinational gates.
+  auto buildGate = [&](const GateDef& g) -> Lit {
+    std::vector<Lit> args;
+    args.reserve(g.args.size());
+    for (const auto& aName : g.args) args.push_back(signal.at(aName));
+    aig::Aig& ag = net.aig;
+    if (g.op == "AND") return ag.mkAndAll(args);
+    if (g.op == "NAND") return !ag.mkAndAll(args);
+    if (g.op == "OR") return ag.mkOrAll(args);
+    if (g.op == "NOR") return !ag.mkOrAll(args);
+    if (g.op == "XOR") {
+      Lit r = args.at(0);
+      for (std::size_t k = 1; k < args.size(); ++k) r = ag.mkXor(r, args[k]);
+      return r;
+    }
+    if (g.op == "XNOR") {
+      Lit r = args.at(0);
+      for (std::size_t k = 1; k < args.size(); ++k) r = ag.mkXor(r, args[k]);
+      return !r;
+    }
+    if (g.op == "NOT") return !args.at(0);
+    if (g.op == "BUF" || g.op == "BUFF") return args.at(0);
+    throw ParseError("unknown .bench gate type: " + g.op);
+  };
+
+  std::vector<GateDef> pending = gates;
+  while (!pending.empty()) {
+    const std::size_t before = pending.size();
+    std::erase_if(pending, [&](const GateDef& g) {
+      for (const auto& aName : g.args)
+        if (!signal.contains(aName)) return false;
+      signal.emplace(g.out, buildGate(g));
+      return true;
+    });
+    if (pending.size() == before)
+      throw ParseError("cyclic or undefined .bench gates");
+  }
+
+  for (const auto& [q, d] : dffs) {
+    if (!signal.contains(d)) throw ParseError("undefined DFF input: " + d);
+    net.next.push_back(signal.at(d));
+    const auto initIt = initOne.find(q);
+    net.init.push_back(initIt != initOne.end() && initIt->second);
+  }
+  std::vector<Lit> bads;
+  for (const auto& oName : outputs) {
+    if (!signal.contains(oName))
+      throw ParseError("undefined output: " + oName);
+    bads.push_back(signal.at(oName));
+  }
+  net.bad = net.aig.mkOrAll(bads);
+  if (!net.wellFormed()) throw ParseError("malformed .bench network");
+  return net;
+}
+
+void writeBench(const Network& net, std::ostream& out) {
+  std::unordered_map<VarId, std::string> piName;
+  for (std::size_t k = 0; k < net.inputVars.size(); ++k)
+    piName.emplace(net.inputVars[k], "i" + std::to_string(k));
+  for (std::size_t k = 0; k < net.stateVars.size(); ++k)
+    piName.emplace(net.stateVars[k], "l" + std::to_string(k));
+
+  std::vector<Lit> roots(net.next.begin(), net.next.end());
+  roots.push_back(net.bad);
+  const auto order = net.aig.coneAnds(roots);
+
+  std::unordered_map<aig::NodeId, std::string> nodeName;
+  auto baseName = [&](aig::NodeId n) -> std::string {
+    if (net.aig.isConst(n)) return "const0";
+    if (net.aig.isPi(n)) return piName.at(net.aig.piVar(n));
+    return nodeName.at(n);
+  };
+
+  out << "# " << net.name << " (written by cbq)\n";
+  for (std::size_t j = 0; j < net.init.size(); ++j)
+    if (net.init[j]) out << "# init l" << j << " = 1\n";
+  for (std::size_t k = 0; k < net.inputVars.size(); ++k)
+    out << "INPUT(i" << k << ")\n";
+  out << "OUTPUT(bad)\n";
+
+  // Dedicated constant and inverter gates (bench has no inline negation).
+  // Inverter definitions are queued and flushed *before* the line that
+  // references them, so lines never interleave.
+  bool needConst = false;
+  std::unordered_map<std::string, bool> inverterEmitted;
+  std::ostringstream body;
+  std::vector<std::string> pendingInverters;
+  auto litName = [&](Lit l) -> std::string {
+    const std::string base = baseName(l.node());
+    if (base == "const0") needConst = true;
+    if (!l.negated()) return base;
+    const std::string inv = base + "_n";
+    if (!inverterEmitted[inv]) {
+      pendingInverters.push_back(inv + " = NOT(" + base + ")");
+      inverterEmitted[inv] = true;
+    }
+    return inv;
+  };
+  auto flushInverters = [&] {
+    for (const auto& line : pendingInverters) body << line << '\n';
+    pendingInverters.clear();
+  };
+
+  for (const aig::NodeId n : order) {
+    nodeName.emplace(n, "g" + std::to_string(n));
+    const std::string a = litName(net.aig.fanin0(n));
+    const std::string b = litName(net.aig.fanin1(n));
+    flushInverters();
+    body << nodeName.at(n) << " = AND(" << a << ", " << b << ")\n";
+  }
+  {
+    const std::string badName = litName(net.bad);
+    flushInverters();
+    body << "bad = BUF(" << badName << ")\n";
+  }
+  for (std::size_t j = 0; j < net.stateVars.size(); ++j) {
+    const std::string nx = litName(net.next[j]);
+    flushInverters();
+    body << "l" << j << " = DFF(" << nx << ")\n";
+  }
+
+  if (needConst) {
+    // const0 = AND(x, NOT(x)) over the first available signal.
+    const std::string base = !net.inputVars.empty()
+                                 ? "i0"
+                                 : (!net.stateVars.empty() ? "l0" : "");
+    if (base.empty()) throw ParseError("cannot emit constant: no signals");
+    out << base << "_n0 = NOT(" << base << ")\n";
+    out << "const0 = AND(" << base << ", " << base << "_n0)\n";
+  }
+  out << body.str();
+}
+
+mc::Network readCircuitFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot open file: " + path);
+  const auto dot = path.find_last_of('.');
+  const std::string ext = dot == std::string::npos ? "" : path.substr(dot);
+  const auto slash = path.find_last_of('/');
+  const std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  if (ext == ".aag") return readAag(in, base);
+  if (ext == ".aig") return readAigBinary(in, base);
+  if (ext == ".bench") return readBench(in, base);
+  throw ParseError("unsupported circuit file extension: " + path);
+}
+
+}  // namespace cbq::circuits

@@ -1,0 +1,39 @@
+#pragma once
+// Circuit file I/O: AIGER ASCII (.aag) and ISCAS-style .bench.
+//
+// These let a downstream user run the engines on real benchmark files.
+// Conventions:
+//  * .aag — standard AIGER ascii; every output is a bad signal (they are
+//    OR-ed together), latch reset values follow the optional third field.
+//  * .bench — INPUT/OUTPUT/AND/NAND/OR/NOR/XOR/XNOR/NOT/BUF/DFF; outputs
+//    are OR-ed into the bad condition; latches reset to 0 unless a
+//    `# init <name> = 1` comment (our round-trip extension) says otherwise.
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "mc/network.hpp"
+
+namespace cbq::circuits {
+
+/// Thrown on malformed input files.
+struct ParseError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+mc::Network readAag(std::istream& in, std::string name = "aag");
+void writeAag(const mc::Network& net, std::ostream& out);
+
+/// AIGER **binary** format (.aig): implicit input/latch literals,
+/// delta-encoded AND gates. This is what distributed benchmark sets ship.
+mc::Network readAigBinary(std::istream& in, std::string name = "aig");
+void writeAigBinary(const mc::Network& net, std::ostream& out);
+
+mc::Network readBench(std::istream& in, std::string name = "bench");
+void writeBench(const mc::Network& net, std::ostream& out);
+
+/// Dispatches on the file extension (.aag / .bench).
+mc::Network readCircuitFile(const std::string& path);
+
+}  // namespace cbq::circuits

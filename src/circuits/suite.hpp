@@ -1,0 +1,37 @@
+#pragma once
+// Assembly of the standard benchmark suite used by tests and by the
+// table/figure harnesses.
+
+#include <string>
+#include <vector>
+
+#include "circuits/families.hpp"
+#include "mc/result.hpp"
+
+namespace cbq::circuits {
+
+/// One benchmark instance with its ground-truth verdict.
+struct Instance {
+  mc::Network net;
+  mc::Verdict expected;  ///< Safe or Unsafe by construction
+  std::string family;
+  int width;
+};
+
+/// Names of all generator families (for CLI tools and sweeps).
+std::vector<std::string> familyNames();
+
+/// Builds one instance. `width` is ignored by the fixed-size families
+/// (traffic, peterson). Throws std::invalid_argument on unknown family.
+Instance makeInstance(const std::string& family, int width, bool safe);
+
+/// The default suite: every family, safe + buggy, at small widths whose
+/// backward diameters keep all engines in range. This is the workload of
+/// experiment T1.
+std::vector<Instance> standardSuite();
+
+/// A width sweep of one family (safe variants), for the scaling figure.
+std::vector<Instance> widthSweep(const std::string& family,
+                                 std::vector<int> widths, bool safe);
+
+}  // namespace cbq::circuits

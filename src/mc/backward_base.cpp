@@ -1,0 +1,189 @@
+#include "mc/backward_base.hpp"
+
+#include <utility>
+
+#include "cnf/aig_cnf.hpp"
+#include "sat/solver.hpp"
+#include "util/timer.hpp"
+
+namespace cbq::mc::detail {
+
+namespace {
+
+using aig::Lit;
+using aig::VarId;
+
+/// Rebuilds the trace for an Unsafe verdict. `frontiers[j]` (in the
+/// archive manager) is Pre^j(∃i.bad); the initial state lies in
+/// frontiers[d]. One small SAT query per step picks inputs that descend
+/// the frontier chain; latches are stepped by simulation on the original
+/// network.
+Trace reconstructTrace(const Network& net, aig::Aig& archive,
+                       const std::vector<Lit>& archNext, Lit archBad,
+                       const std::vector<Lit>& frontiers, int d) {
+  std::unordered_map<VarId, Lit> subst;
+  for (std::size_t i = 0; i < net.stateVars.size(); ++i)
+    subst.emplace(net.stateVars[i], archNext[i]);
+
+  Trace trace;
+  std::unordered_map<VarId, bool> state = net.initAssignment();
+
+  for (int t = 0; t <= d; ++t) {
+    const Lit target =
+        t < d ? archive.compose(frontiers[static_cast<std::size_t>(d - 1 - t)],
+                                subst)
+              : archBad;
+
+    sat::Solver solver;
+    cnf::AigCnf cnf(archive, solver);
+    std::vector<sat::Lit> assumptions;
+    assumptions.push_back(cnf.litFor(target));
+    for (const auto& [v, value] : state) {
+      if (!archive.hasPi(v)) continue;
+      const Lit pi(archive.piNodeOf(v), false);
+      assumptions.push_back(cnf.litFor(pi) ^ !value);
+    }
+    if (solver.solve(assumptions) != sat::Status::Sat) {
+      // By construction this cannot happen; bail out with what we have —
+      // the replay referee in the caller/test will flag the bad trace.
+      return trace;
+    }
+
+    std::unordered_map<VarId, bool> inputs;
+    for (const VarId v : net.inputVars) inputs.emplace(v, cnf.modelOf(v));
+    trace.inputs.push_back(inputs);
+
+    if (t < d) {
+      std::unordered_map<VarId, bool> a = state;
+      for (const auto& [v, b] : inputs) a.insert_or_assign(v, b);
+      std::unordered_map<VarId, bool> nextState;
+      for (std::size_t i = 0; i < net.numLatches(); ++i)
+        nextState.emplace(net.stateVars[i],
+                          net.aig.evaluate(net.next[i], a));
+      state = std::move(nextState);
+    }
+  }
+  return trace;
+}
+
+}  // namespace
+
+CheckResult backwardReach(const Network& net, const std::string& engineName,
+                          const ReachLimits& limits,
+                          bool compactEachIteration,
+                          std::size_t hardConeLimit,
+                          const InputEliminator& eliminate) {
+  util::Timer timer;
+  util::Deadline deadline(limits.timeLimitSeconds);
+  CheckResult res;
+  res.engine = engineName;
+
+  // Working manager: next-state functions + bad cone.
+  aig::Aig mgr;
+  std::vector<Lit> roots(net.next.begin(), net.next.end());
+  roots.push_back(net.bad);
+  auto moved = mgr.transferFrom(net.aig, roots);
+  std::vector<Lit> nextL(moved.begin(), moved.end() - 1);
+  Lit badL = moved.back();
+
+  auto substOf = [&](const std::vector<Lit>& nx) {
+    std::unordered_map<VarId, Lit> m;
+    m.reserve(nx.size());
+    for (std::size_t i = 0; i < net.stateVars.size(); ++i)
+      m.emplace(net.stateVars[i], nx[i]);
+    return m;
+  };
+  std::unordered_map<VarId, Lit> subst = substOf(nextL);
+
+  // Archive manager: frontier history for counterexample reconstruction.
+  aig::Aig archive;
+  auto movedA = archive.transferFrom(net.aig, roots);
+  std::vector<Lit> archNext(movedA.begin(), movedA.end() - 1);
+  const Lit archBad = movedA.back();
+  std::vector<Lit> frontiersArch;
+
+  auto finish = [&](Verdict v, int steps) {
+    res.verdict = v;
+    res.steps = steps;
+    res.seconds = timer.seconds();
+    return res;
+  };
+
+  // Frontier 0: B = ∃i . bad(s, i).
+  PreImageRequest req{&mgr, badL, &net, &res.stats};
+  const auto b0 = eliminate(req);
+  if (!b0) return finish(Verdict::Unknown, 0);
+  Lit frontier = *b0;
+  Lit reached = frontier;
+  {
+    const Lit fr[] = {frontier};
+    frontiersArch.push_back(archive.transferFrom(mgr, fr).front());
+  }
+
+  const auto initA = net.initAssignment();
+  int iter = 0;
+  bool unsafe = mgr.evaluate(frontier, initA);
+
+  while (!unsafe) {
+    if (iter >= limits.maxIterations || deadline.expired())
+      return finish(Verdict::Unknown, iter);
+    {
+      const Lit rr[] = {reached};
+      const std::size_t sz = mgr.coneSize(rr);
+      res.stats.high("reach.max_reached_cone", static_cast<double>(sz));
+      if (sz > hardConeLimit) return finish(Verdict::Unknown, iter);
+    }
+    ++iter;
+
+    // Pre-image by substitution (§3 in-lining), then input elimination.
+    req.formula = mgr.compose(frontier, subst);
+    const auto q = eliminate(req);
+    if (!q) return finish(Verdict::Unknown, iter);
+    Lit pre = *q;
+
+    // Fixpoint: every pre-image state already reached?
+    {
+      sat::Solver solver;
+      cnf::AigCnf cnf(mgr, solver);
+      res.stats.add("reach.fixpoint_checks");
+      if (cnf::checkImplies(cnf, pre, reached) == cnf::Verdict::Holds)
+        return finish(Verdict::Safe, iter);
+    }
+
+    frontier = pre;
+    reached = mgr.mkOr(reached, pre);
+    {
+      const Lit fr[] = {frontier};
+      frontiersArch.push_back(archive.transferFrom(mgr, fr).front());
+      res.stats.high("reach.max_frontier_cone",
+                     static_cast<double>(mgr.coneSize(fr)));
+    }
+
+    if (mgr.evaluate(frontier, initA)) {
+      unsafe = true;
+      break;
+    }
+
+    if (compactEachIteration) {
+      // Re-strash every live cone into a fresh manager; scratch nodes from
+      // cofactoring/sweeping are dropped wholesale.
+      aig::Aig fresh;
+      std::vector<Lit> live{reached, frontier, badL};
+      live.insert(live.end(), nextL.begin(), nextL.end());
+      auto mv = fresh.transferFrom(mgr, live);
+      reached = mv[0];
+      frontier = mv[1];
+      badL = mv[2];
+      for (std::size_t i = 0; i < nextL.size(); ++i) nextL[i] = mv[3 + i];
+      mgr = std::move(fresh);
+      subst = substOf(nextL);
+    }
+  }
+
+  res.cex = reconstructTrace(net, archive, archNext, archBad, frontiersArch,
+                             iter);
+  res.stats.set("reach.iterations", iter);
+  return finish(Verdict::Unsafe, iter);
+}
+
+}  // namespace cbq::mc::detail

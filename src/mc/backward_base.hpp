@@ -1,0 +1,39 @@
+#pragma once
+// Shared skeleton for the AIG-based backward-reachability engines.
+//
+// The three SAT-flavoured engines (circuit quantification, all-SAT
+// pre-image, hybrid) differ only in how they eliminate the input
+// variables from the in-lined pre-image formula; everything else —
+// the fixpoint loop, the frontier archive, counterexample
+// reconstruction, compaction — is identical and lives here.
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "mc/engines.hpp"
+
+namespace cbq::mc::detail {
+
+/// State handed to the per-engine input-elimination callback.
+struct PreImageRequest {
+  aig::Aig* mgr;                 ///< working manager
+  aig::Lit formula;              ///< F(δ(s,i)) — inputs still present
+  const Network* net;
+  util::Stats* stats;
+};
+
+/// Callback: eliminate the inputs from request.formula. Returns
+/// std::nullopt to signal failure (engine reports Unknown).
+using InputEliminator =
+    std::function<std::optional<aig::Lit>(const PreImageRequest&)>;
+
+/// Runs backward reachability with AIG state sets. `eliminate` is invoked
+/// once on the initial bad cone and once per pre-image.
+CheckResult backwardReach(const Network& net, const std::string& engineName,
+                          const ReachLimits& limits,
+                          bool compactEachIteration,
+                          std::size_t hardConeLimit,
+                          const InputEliminator& eliminate);
+
+}  // namespace cbq::mc::detail

@@ -1,0 +1,218 @@
+// The classical BDD reachability baselines (§1 of the paper): backward
+// pre-image by vector composition, forward image by relational product.
+// Node limits convert memory blow-up into a clean Unknown verdict.
+
+#include <algorithm>
+
+#include "bdd/bdd.hpp"
+#include "mc/engines.hpp"
+#include "util/timer.hpp"
+
+namespace cbq::mc {
+
+namespace {
+
+using aig::VarId;
+using bdd::BddRef;
+
+struct BddModel {
+  bdd::BddManager mgr;
+  std::vector<BddRef> next;
+  BddRef bad = bdd::kFalseBdd;
+  BddRef initCube = bdd::kTrueBdd;
+
+  explicit BddModel(std::size_t limit) : mgr(limit) {}
+};
+
+/// Builds next/bad/init BDDs. Variable order: latches and inputs in
+/// network declaration order (generators interleave related variables).
+std::unique_ptr<BddModel> buildModel(const Network& net, std::size_t limit) {
+  auto model = std::make_unique<BddModel>(limit);
+  for (const VarId v : net.stateVars) model->mgr.registerVar(v);
+  for (const VarId v : net.inputVars) model->mgr.registerVar(v);
+  model->next.reserve(net.next.size());
+  for (const aig::Lit nx : net.next)
+    model->next.push_back(bdd::aigToBdd(net.aig, nx, model->mgr));
+  model->bad = bdd::aigToBdd(net.aig, net.bad, model->mgr);
+  for (std::size_t i = 0; i < net.numLatches(); ++i) {
+    BddRef v = model->mgr.var(net.stateVars[i]);
+    if (!net.init[i]) v = model->mgr.bddNot(v);
+    model->initCube = model->mgr.bddAnd(model->initCube, v);
+  }
+  return model;
+}
+
+/// Backward counterexample reconstruction from the BDD frontier chain.
+Trace reconstructBddTrace(const Network& net, BddModel& model,
+                          const std::vector<BddRef>& frontiers, int d) {
+  std::unordered_map<VarId, BddRef> subst;
+  for (std::size_t i = 0; i < net.stateVars.size(); ++i)
+    subst.emplace(net.stateVars[i], model.next[i]);
+
+  Trace trace;
+  std::unordered_map<VarId, bool> state = net.initAssignment();
+  for (int t = 0; t <= d; ++t) {
+    BddRef target =
+        t < d ? model.mgr.compose(
+                    frontiers[static_cast<std::size_t>(d - 1 - t)], subst)
+              : model.bad;
+    // Fix the current state by cofactoring; what remains is over inputs.
+    for (const auto& [v, value] : state)
+      target = model.mgr.cofactor(target, v, value);
+    const auto pick = model.mgr.anySat(target);
+
+    std::unordered_map<VarId, bool> inputs;
+    for (const VarId v : net.inputVars) {
+      auto it = pick.find(v);
+      inputs.emplace(v, it != pick.end() && it->second);
+    }
+    trace.inputs.push_back(inputs);
+
+    if (t < d) {
+      std::unordered_map<VarId, bool> a = state;
+      for (const auto& [v, b] : inputs) a.insert_or_assign(v, b);
+      std::unordered_map<VarId, bool> nextState;
+      for (std::size_t i = 0; i < net.numLatches(); ++i)
+        nextState.emplace(net.stateVars[i],
+                          net.aig.evaluate(net.next[i], a));
+      state = std::move(nextState);
+    }
+  }
+  return trace;
+}
+
+}  // namespace
+
+CheckResult BddBackwardReach::check(const Network& net) {
+  util::Timer timer;
+  util::Deadline deadline(opts_.limits.timeLimitSeconds);
+  CheckResult res;
+  res.engine = name();
+  res.verdict = Verdict::Unknown;
+
+  try {
+    auto model = buildModel(net, opts_.nodeLimit);
+    bdd::BddManager& bm = model->mgr;
+
+    std::unordered_map<VarId, BddRef> subst;
+    for (std::size_t i = 0; i < net.stateVars.size(); ++i)
+      subst.emplace(net.stateVars[i], model->next[i]);
+
+    BddRef frontier = bm.exists(model->bad, net.inputVars);
+    BddRef reached = frontier;
+    std::vector<BddRef> frontiers{frontier};
+    const auto initA = net.initAssignment();
+
+    int iter = 0;
+    bool unsafe = bm.evaluate(frontier, initA);
+    while (!unsafe) {
+      if (iter >= opts_.limits.maxIterations || deadline.expired()) {
+        res.seconds = timer.seconds();
+        res.steps = iter;
+        return res;
+      }
+      ++iter;
+      const BddRef pre =
+          bm.exists(bm.compose(frontier, subst), net.inputVars);
+      // Fixpoint: pre ∧ ¬reached = 0.
+      const BddRef fresh = bm.bddAnd(pre, bm.bddNot(reached));
+      res.stats.high("bdd.peak_nodes", static_cast<double>(bm.numNodes()));
+      if (fresh == bdd::kFalseBdd) {
+        res.verdict = Verdict::Safe;
+        res.steps = iter;
+        res.seconds = timer.seconds();
+        res.stats.set("bdd.reached_size",
+                      static_cast<double>(bm.size(reached)));
+        return res;
+      }
+      frontier = pre;
+      reached = bm.bddOr(reached, pre);
+      frontiers.push_back(frontier);
+      res.stats.high("bdd.max_frontier_size",
+                     static_cast<double>(bm.size(frontier)));
+      unsafe = bm.evaluate(frontier, initA);
+    }
+
+    res.verdict = Verdict::Unsafe;
+    res.steps = iter;
+    res.cex = reconstructBddTrace(net, *model, frontiers, iter);
+  } catch (const bdd::NodeLimitExceeded&) {
+    res.stats.add("bdd.node_limit_hits");
+  }
+  res.seconds = timer.seconds();
+  return res;
+}
+
+CheckResult BddForwardReach::check(const Network& net) {
+  util::Timer timer;
+  util::Deadline deadline(opts_.limits.timeLimitSeconds);
+  CheckResult res;
+  res.engine = name();
+  res.verdict = Verdict::Unknown;
+
+  try {
+    auto model = buildModel(net, opts_.nodeLimit);
+    bdd::BddManager& bm = model->mgr;
+
+    // Next-state variables get fresh ids above every network variable.
+    VarId maxVar = 0;
+    for (const VarId v : net.stateVars) maxVar = std::max(maxVar, v);
+    for (const VarId v : net.inputVars) maxVar = std::max(maxVar, v);
+    std::vector<VarId> nsVars(net.numLatches());
+    for (std::size_t i = 0; i < nsVars.size(); ++i)
+      nsVars[i] = maxVar + 1 + static_cast<VarId>(i);
+
+    // Monolithic transition relation ∧_j (s'_j ↔ δ_j).
+    BddRef tr = bdd::kTrueBdd;
+    for (std::size_t i = 0; i < net.numLatches(); ++i) {
+      const BddRef eq = bm.bddNot(
+          bm.bddXor(bm.var(nsVars[i]), model->next[i]));
+      tr = bm.bddAnd(tr, eq);
+    }
+
+    // Quantify current state and inputs during the product.
+    std::vector<VarId> presentAndInputs(net.stateVars);
+    presentAndInputs.insert(presentAndInputs.end(), net.inputVars.begin(),
+                            net.inputVars.end());
+    std::unordered_map<VarId, BddRef> rename;  // s' -> s
+    for (std::size_t i = 0; i < net.numLatches(); ++i)
+      rename.emplace(nsVars[i], bm.var(net.stateVars[i]));
+
+    const BddRef badStates = bm.exists(model->bad, net.inputVars);
+    BddRef reached = model->initCube;
+    BddRef frontier = model->initCube;
+
+    int iter = 0;
+    for (;;) {
+      if (bm.bddAnd(reached, badStates) != bdd::kFalseBdd) {
+        res.verdict = Verdict::Unsafe;
+        res.steps = iter;
+        // Forward traversal: counterexample reconstruction would need a
+        // backward pass over the onion rings; the verdict (and depth) is
+        // what the baseline comparison uses.
+        break;
+      }
+      if (iter >= opts_.limits.maxIterations || deadline.expired()) break;
+      ++iter;
+      const BddRef imgNs = bm.andExists(tr, frontier, presentAndInputs);
+      const BddRef img = bm.compose(imgNs, rename);
+      const BddRef fresh = bm.bddAnd(img, bm.bddNot(reached));
+      res.stats.high("bdd.peak_nodes", static_cast<double>(bm.numNodes()));
+      if (fresh == bdd::kFalseBdd) {
+        res.verdict = Verdict::Safe;
+        res.steps = iter;
+        res.stats.set("bdd.reached_size",
+                      static_cast<double>(bm.size(reached)));
+        break;
+      }
+      reached = bm.bddOr(reached, fresh);
+      frontier = fresh;
+    }
+  } catch (const bdd::NodeLimitExceeded&) {
+    res.stats.add("bdd.node_limit_hits");
+  }
+  res.seconds = timer.seconds();
+  return res;
+}
+
+}  // namespace cbq::mc

@@ -1,0 +1,201 @@
+#pragma once
+// The model-checking engines of the reproduction.
+//
+//  * CircuitQuantReach — the paper's engine (§3): backward reachability
+//    with AIG state sets, pre-image by substitution (in-lining) followed
+//    by circuit-based quantification of the inputs.
+//  * BddBackwardReach / BddForwardReach — the classical BDD baselines the
+//    paper positions itself against (§1).
+//  * Bmc — bounded model checking (Biere et al., cited as [1]).
+//  * KInduction — temporal induction with simple-path constraints
+//    (Sheeran et al., cited as [5]).
+//  * AllSatPreimageReach — all-solution SAT pre-image with circuit
+//    cofactoring (Ganai et al., cited as [2]).
+//  * HybridReach — the paper's §4 combination: partial circuit
+//    quantification first, all-SAT enumeration of the residual inputs.
+//
+// plus the §4 preprocessing utility that eliminates primary inputs from
+// the bad cone before handing the problem to BMC / induction.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mc/network.hpp"
+#include "mc/result.hpp"
+#include "quant/quantifier.hpp"
+
+namespace cbq::mc {
+
+/// Common interface: every engine checks the invariant of a network.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual CheckResult check(const Network& net) = 0;
+};
+
+/// Shared resource bounds for the fixpoint engines.
+struct ReachLimits {
+  int maxIterations = 10000;
+  double timeLimitSeconds = 60.0;
+};
+
+// ----- the paper's engine ---------------------------------------------------
+
+struct CircuitQuantReachOptions {
+  quant::QuantOptions quant{};
+  ReachLimits limits{};
+  bool compactEachIteration = true;  ///< re-strash state sets per iteration
+  std::size_t hardConeLimit = 2'000'000;  ///< give up (Unknown) beyond this
+};
+
+class CircuitQuantReach final : public Engine {
+ public:
+  explicit CircuitQuantReach(CircuitQuantReachOptions opts = {})
+      : opts_(opts) {}
+  [[nodiscard]] std::string name() const override { return "cbq-reach"; }
+  CheckResult check(const Network& net) override;
+
+ private:
+  CircuitQuantReachOptions opts_;
+};
+
+// ----- forward variant of the paper's engine ---------------------------------
+
+/// Forward reachability with AIG state sets. The paper's §1 observes that
+/// *post*-image computation existentially quantifies both input and state
+/// variables; this engine exercises exactly that: the image is
+/// ∃s,i . TR(s,i,s') ∧ F(s), computed with circuit-based quantification
+/// over the full (state ∪ input) set, then renamed s'→s by substitution.
+/// Much heavier per step than the backward engine (more variables per
+/// quantification) — which is why the paper works backward — but it
+/// provides the measurement for that claim and finds shallow bugs fast.
+struct CircuitQuantForwardOptions {
+  quant::QuantOptions quant{};
+  ReachLimits limits{};
+  std::size_t hardConeLimit = 2'000'000;
+};
+
+class CircuitQuantForwardReach final : public Engine {
+ public:
+  explicit CircuitQuantForwardReach(CircuitQuantForwardOptions opts = {})
+      : opts_(opts) {}
+  [[nodiscard]] std::string name() const override { return "cbq-fwd"; }
+  CheckResult check(const Network& net) override;
+
+ private:
+  CircuitQuantForwardOptions opts_;
+};
+
+// ----- BDD baselines ----------------------------------------------------------
+
+struct BddReachOptions {
+  std::size_t nodeLimit = 4'000'000;  ///< abort to Unknown beyond this
+  ReachLimits limits{};
+};
+
+class BddBackwardReach final : public Engine {
+ public:
+  explicit BddBackwardReach(BddReachOptions opts = {}) : opts_(opts) {}
+  [[nodiscard]] std::string name() const override { return "bdd-bwd"; }
+  CheckResult check(const Network& net) override;
+
+ private:
+  BddReachOptions opts_;
+};
+
+class BddForwardReach final : public Engine {
+ public:
+  explicit BddForwardReach(BddReachOptions opts = {}) : opts_(opts) {}
+  [[nodiscard]] std::string name() const override { return "bdd-fwd"; }
+  CheckResult check(const Network& net) override;
+
+ private:
+  BddReachOptions opts_;
+};
+
+// ----- bounded engines ----------------------------------------------------------
+
+struct BmcOptions {
+  int maxDepth = 128;
+  double timeLimitSeconds = 60.0;
+};
+
+class Bmc final : public Engine {
+ public:
+  explicit Bmc(BmcOptions opts = {}) : opts_(opts) {}
+  [[nodiscard]] std::string name() const override { return "bmc"; }
+  CheckResult check(const Network& net) override;
+
+ private:
+  BmcOptions opts_;
+};
+
+struct InductionOptions {
+  int maxK = 64;
+  bool uniquePath = true;  ///< simple-path (state-distinct) constraints
+  double timeLimitSeconds = 60.0;
+};
+
+class KInduction final : public Engine {
+ public:
+  explicit KInduction(InductionOptions opts = {}) : opts_(opts) {}
+  [[nodiscard]] std::string name() const override { return "k-induction"; }
+  CheckResult check(const Network& net) override;
+
+ private:
+  InductionOptions opts_;
+};
+
+// ----- all-SAT pre-image & hybrid ---------------------------------------------------
+
+struct AllSatReachOptions {
+  int maxEnumPerImage = 1 << 16;  ///< cofactor enumerations per pre-image
+  ReachLimits limits{};
+};
+
+class AllSatPreimageReach final : public Engine {
+ public:
+  explicit AllSatPreimageReach(AllSatReachOptions opts = {}) : opts_(opts) {}
+  [[nodiscard]] std::string name() const override { return "allsat-reach"; }
+  CheckResult check(const Network& net) override;
+
+ private:
+  AllSatReachOptions opts_;
+};
+
+struct HybridReachOptions {
+  quant::QuantOptions quant{};    ///< partial quantification (aborts on)
+  int maxEnumPerImage = 1 << 16;
+  ReachLimits limits{};
+};
+
+class HybridReach final : public Engine {
+ public:
+  explicit HybridReach(HybridReachOptions opts = {}) : opts_(opts) {}
+  [[nodiscard]] std::string name() const override { return "hybrid-reach"; }
+  CheckResult check(const Network& net) override;
+
+ private:
+  HybridReachOptions opts_;
+};
+
+// ----- §4 preprocessing ----------------------------------------------------------------
+
+struct PreprocessResult {
+  Network net;                    ///< copy with inputs quantified from bad
+  std::size_t inputsBefore = 0;   ///< inputs in bad's support before
+  std::size_t inputsAfter = 0;    ///< inputs left in bad's support
+};
+
+/// Eliminates primary inputs from the bad cone by circuit quantification —
+/// sound for invariant checking because the violation test is terminal.
+/// Reduces the decision variables any SAT-based engine spends on `bad`.
+PreprocessResult preprocessQuantifyInputs(const Network& net,
+                                          const quant::QuantOptions& opts = {});
+
+/// The full engine portfolio with default options (used by benches/tests).
+std::vector<std::unique_ptr<Engine>> makeAllEngines();
+
+}  // namespace cbq::mc

@@ -1,0 +1,185 @@
+// Forward reachability with circuit-based quantification — the post-image
+// variant the paper's §1 alludes to. Image computation quantifies state
+// AND input variables out of TR(s,i,s') ∧ F(s), the worst case for
+// quantifier elimination, which is precisely why it makes a good stress
+// test of the merge/optimization machinery.
+
+#include <algorithm>
+
+#include "cnf/aig_cnf.hpp"
+#include "mc/engines.hpp"
+#include "quant/quantifier.hpp"
+#include "sat/solver.hpp"
+#include "util/timer.hpp"
+
+namespace cbq::mc {
+
+namespace {
+
+using aig::Lit;
+using aig::VarId;
+
+struct ForwardModel {
+  aig::Aig mgr;
+  std::vector<Lit> next;        ///< δ_j(s, i) in mgr
+  Lit bad = aig::kFalse;        ///< bad(s, i) in mgr
+  Lit tr = aig::kFalse;         ///< ∧_j s'_j ↔ δ_j
+  Lit initCube = aig::kTrue;    ///< I(s)
+  std::vector<VarId> nsVars;    ///< fresh next-state variable ids
+  std::vector<VarId> quantSet;  ///< state ∪ input variables
+  std::unordered_map<VarId, Lit> renameBack;  ///< s'_j -> pi(s_j)
+};
+
+ForwardModel buildModel(const Network& net) {
+  ForwardModel m;
+  std::vector<Lit> roots(net.next.begin(), net.next.end());
+  roots.push_back(net.bad);
+  auto moved = m.mgr.transferFrom(net.aig, roots);
+  m.next.assign(moved.begin(), moved.end() - 1);
+  m.bad = moved.back();
+
+  VarId maxVar = 0;
+  for (const VarId v : net.stateVars) maxVar = std::max(maxVar, v);
+  for (const VarId v : net.inputVars) maxVar = std::max(maxVar, v);
+  m.nsVars.resize(net.numLatches());
+
+  std::vector<Lit> conjuncts;
+  conjuncts.reserve(net.numLatches());
+  for (std::size_t j = 0; j < net.numLatches(); ++j) {
+    m.nsVars[j] = maxVar + 1 + static_cast<VarId>(j);
+    conjuncts.push_back(m.mgr.mkXnor(m.mgr.pi(m.nsVars[j]), m.next[j]));
+    m.renameBack.emplace(m.nsVars[j], m.mgr.pi(net.stateVars[j]));
+  }
+  m.tr = m.mgr.mkAndAll(conjuncts);
+
+  for (std::size_t j = 0; j < net.numLatches(); ++j) {
+    m.initCube = m.mgr.mkAnd(
+        m.initCube, m.mgr.pi(net.stateVars[j]) ^ !net.init[j]);
+  }
+
+  m.quantSet.assign(net.stateVars.begin(), net.stateVars.end());
+  m.quantSet.insert(m.quantSet.end(), net.inputVars.begin(),
+                    net.inputVars.end());
+  return m;
+}
+
+/// Backward trace extraction over forward onion rings: pick a bad state
+/// in the last ring, then step backwards ring by ring with one SAT query
+/// per step (state of ring t, transition into the chosen successor).
+std::optional<Trace> extractTrace(const Network& net, ForwardModel& m,
+                                  const std::vector<Lit>& rings, int d) {
+  // 1. pick s_d |= rings[d] ∧ ∃i bad — solve rings[d] ∧ bad directly.
+  std::unordered_map<VarId, bool> state;
+  std::unordered_map<VarId, bool> finalInputs;
+  {
+    sat::Solver solver;
+    cnf::AigCnf cnf(m.mgr, solver);
+    const sat::Lit assumptions[] = {
+        cnf.litFor(m.mgr.mkAnd(rings[static_cast<std::size_t>(d)], m.bad))};
+    if (solver.solve(assumptions) != sat::Status::Sat) return std::nullopt;
+    for (const VarId v : net.stateVars) state.emplace(v, cnf.modelOf(v));
+    for (const VarId v : net.inputVars)
+      finalInputs.emplace(v, cnf.modelOf(v));
+  }
+
+  // 2. walk backwards: for t = d-1..0 find s_t ∈ rings[t], input i_t with
+  //    δ(s_t, i_t) = s_{t+1}.
+  std::vector<std::unordered_map<VarId, bool>> inputsRev{finalInputs};
+  for (int t = d - 1; t >= 0; --t) {
+    sat::Solver solver;
+    cnf::AigCnf cnf(m.mgr, solver);
+    std::vector<sat::Lit> assumptions;
+    assumptions.push_back(cnf.litFor(
+        m.mgr.mkAnd(rings[static_cast<std::size_t>(t)], m.tr)));
+    // Fix the successor (next-state variables) to s_{t+1}.
+    for (std::size_t j = 0; j < net.numLatches(); ++j) {
+      const Lit pi(m.mgr.piNodeOf(m.nsVars[j]), false);
+      assumptions.push_back(cnf.litFor(pi) ^ !state.at(net.stateVars[j]));
+    }
+    if (solver.solve(assumptions) != sat::Status::Sat) return std::nullopt;
+    std::unordered_map<VarId, bool> stepInputs;
+    for (const VarId v : net.inputVars) stepInputs.emplace(v, cnf.modelOf(v));
+    inputsRev.push_back(stepInputs);
+    std::unordered_map<VarId, bool> prevState;
+    for (const VarId v : net.stateVars) prevState.emplace(v, cnf.modelOf(v));
+    state = std::move(prevState);
+  }
+
+  Trace trace;
+  for (auto it = inputsRev.rbegin(); it != inputsRev.rend(); ++it)
+    trace.inputs.push_back(*it);
+  return trace;
+}
+
+}  // namespace
+
+CheckResult CircuitQuantForwardReach::check(const Network& net) {
+  util::Timer timer;
+  util::Deadline deadline(opts_.limits.timeLimitSeconds);
+  CheckResult res;
+  res.engine = name();
+  res.verdict = Verdict::Unknown;
+
+  ForwardModel m = buildModel(net);
+  std::vector<Lit> rings{m.initCube};  // onion rings R_0, R_1, ...
+  Lit reached = m.initCube;
+  Lit frontier = m.initCube;
+
+  auto intersectsBad = [&](Lit stateSet) {
+    sat::Solver solver;
+    cnf::AigCnf cnf(m.mgr, solver);
+    return cnf::checkSat(cnf, m.mgr.mkAnd(stateSet, m.bad)) ==
+           cnf::Verdict::Holds;
+  };
+
+  int iter = 0;
+  for (;;) {
+    if (intersectsBad(frontier)) {
+      res.verdict = Verdict::Unsafe;
+      res.steps = iter;
+      res.cex = extractTrace(net, m, rings, iter);
+      break;
+    }
+    if (iter >= opts_.limits.maxIterations || deadline.expired()) {
+      res.steps = iter;
+      break;
+    }
+    {
+      const Lit rr[] = {reached};
+      const std::size_t sz = m.mgr.coneSize(rr);
+      res.stats.high("reach.max_reached_cone", static_cast<double>(sz));
+      if (sz > opts_.hardConeLimit) break;
+    }
+    ++iter;
+
+    // Image: ∃(s, i) . TR ∧ F — both variable classes at once (§1).
+    quant::Quantifier q(m.mgr, opts_.quant);
+    const Lit conj = m.mgr.mkAnd(m.tr, frontier);
+    auto r = q.quantifyAll(conj, m.quantSet);
+    Lit imgNs = r.f;
+    for (const VarId v : r.residual) imgNs = q.quantifyVarForced(imgNs, v);
+    res.stats.merge(q.stats());
+    const Lit img = m.mgr.compose(imgNs, m.renameBack);
+
+    // Fixpoint?
+    {
+      sat::Solver solver;
+      cnf::AigCnf cnf(m.mgr, solver);
+      res.stats.add("reach.fixpoint_checks");
+      if (cnf::checkImplies(cnf, img, reached) == cnf::Verdict::Holds) {
+        res.verdict = Verdict::Safe;
+        res.steps = iter;
+        break;
+      }
+    }
+    frontier = img;
+    reached = m.mgr.mkOr(reached, img);
+    rings.push_back(frontier);
+    res.stats.high("reach.max_frontier_cone",
+                   static_cast<double>(m.mgr.coneSize(frontier)));
+  }
+  res.seconds = timer.seconds();
+  return res;
+}
+
+}  // namespace cbq::mc

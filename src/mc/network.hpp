@@ -1,0 +1,104 @@
+#pragma once
+// Sequential circuit model for unbounded model checking.
+//
+// A Network is a set of latches with next-state functions, a set of free
+// primary inputs, a constant initial state, and a "bad" condition — the
+// complement of the invariant property P, evaluated over current state and
+// inputs. Backward reachability (§3 of the paper) starts from `bad` and
+// iterates pre-images until a fixpoint or an initial-state intersection.
+
+#include <cassert>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace cbq::mc {
+
+struct Network {
+  aig::Aig aig;                        ///< owns every cone below
+  std::string name;                    ///< benchmark instance label
+  std::vector<aig::VarId> stateVars;   ///< current-state variable per latch
+  std::vector<aig::VarId> inputVars;   ///< free primary inputs
+  std::vector<aig::Lit> next;          ///< next-state function per latch
+  std::vector<bool> init;              ///< initial value per latch
+  aig::Lit bad = aig::kFalse;          ///< violation condition (state+input)
+
+  [[nodiscard]] std::size_t numLatches() const { return stateVars.size(); }
+  [[nodiscard]] std::size_t numInputs() const { return inputVars.size(); }
+
+  /// The initial state as a complete assignment over the state variables.
+  [[nodiscard]] std::unordered_map<aig::VarId, bool> initAssignment() const {
+    std::unordered_map<aig::VarId, bool> a;
+    a.reserve(stateVars.size());
+    for (std::size_t i = 0; i < stateVars.size(); ++i)
+      a.emplace(stateVars[i], init[i]);
+    return a;
+  }
+
+  /// Structural well-formedness (sizes line up, vars are disjoint).
+  [[nodiscard]] bool wellFormed() const {
+    if (next.size() != stateVars.size() || init.size() != stateVars.size())
+      return false;
+    std::unordered_map<aig::VarId, int> seen;
+    for (const aig::VarId v : stateVars)
+      if (++seen[v] > 1) return false;
+    for (const aig::VarId v : inputVars)
+      if (++seen[v] > 1) return false;
+    return true;
+  }
+};
+
+/// Incremental construction helper used by the benchmark families: keeps
+/// the state/input variable bookkeeping in one place.
+class NetworkBuilder {
+ public:
+  explicit NetworkBuilder(std::string name) { net_.name = std::move(name); }
+
+  /// Declares a latch with its initial value; next-state set later.
+  aig::Lit addLatch(bool initValue) {
+    const aig::VarId v = nextVar_++;
+    net_.stateVars.push_back(v);
+    net_.init.push_back(initValue);
+    net_.next.push_back(aig::kFalse);
+    return net_.aig.pi(v);
+  }
+
+  /// Declares a free primary input.
+  aig::Lit addInput() {
+    const aig::VarId v = nextVar_++;
+    net_.inputVars.push_back(v);
+    return net_.aig.pi(v);
+  }
+
+  /// Sets the next-state function of the `idx`-th latch.
+  void setNext(std::size_t idx, aig::Lit f) { net_.next[idx] = f; }
+
+  /// Sets the next-state function of the latch whose literal is `latch`.
+  void setNextOf(aig::Lit latch, aig::Lit f) {
+    const aig::VarId v = net_.aig.piVar(latch.node());
+    for (std::size_t i = 0; i < net_.stateVars.size(); ++i) {
+      if (net_.stateVars[i] == v) {
+        net_.next[i] = f;
+        return;
+      }
+    }
+    assert(false && "literal is not a declared latch");
+  }
+
+  void setBad(aig::Lit bad) { net_.bad = bad; }
+
+  [[nodiscard]] aig::Aig& aig() { return net_.aig; }
+
+  Network finish() {
+    assert(net_.wellFormed());
+    return std::move(net_);
+  }
+
+ private:
+  Network net_;
+  aig::VarId nextVar_ = 0;
+};
+
+}  // namespace cbq::mc

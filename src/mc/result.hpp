@@ -1,0 +1,58 @@
+#pragma once
+// Engine verdicts, counterexample traces and the common result record.
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "util/stats.hpp"
+
+namespace cbq::mc {
+
+struct Network;
+
+/// Outcome of a model-checking run.
+enum class Verdict : std::uint8_t {
+  Safe,    ///< invariant proven (fixpoint reached / induction succeeded)
+  Unsafe,  ///< counterexample found
+  Unknown, ///< resource bound hit (depth, iterations, enumeration, time)
+};
+
+[[nodiscard]] inline const char* toString(Verdict v) {
+  switch (v) {
+    case Verdict::Safe:
+      return "SAFE";
+    case Verdict::Unsafe:
+      return "UNSAFE";
+    case Verdict::Unknown:
+      return "UNKNOWN";
+  }
+  return "?";
+}
+
+/// A counterexample: one input assignment per step. Step t's inputs are
+/// applied in state s_t; the bad condition holds at the final step.
+struct Trace {
+  std::vector<std::unordered_map<aig::VarId, bool>> inputs;
+
+  [[nodiscard]] std::size_t length() const { return inputs.size(); }
+};
+
+/// Replays `trace` on `net` from the initial state; true iff the bad
+/// condition holds at the final step. This is pure simulation — the
+/// independent referee every engine's counterexample must pass.
+[[nodiscard]] bool replayHitsBad(const Network& net, const Trace& trace);
+
+/// Common result record for all engines.
+struct CheckResult {
+  Verdict verdict = Verdict::Unknown;
+  int steps = 0;                ///< iterations (fixpoint) or cex depth
+  std::optional<Trace> cex;     ///< present for Unsafe when reconstructed
+  double seconds = 0.0;
+  std::string engine;
+  util::Stats stats;
+};
+
+}  // namespace cbq::mc

@@ -1,0 +1,165 @@
+// The three AIG-based backward engines (paper §3–§4) and the §4
+// input-quantification preprocessing.
+
+#include <algorithm>
+
+#include "cnf/aig_cnf.hpp"
+#include "mc/backward_base.hpp"
+#include "mc/engines.hpp"
+#include "sat/solver.hpp"
+
+namespace cbq::mc {
+
+namespace {
+
+using aig::Lit;
+using aig::VarId;
+
+/// All-solution SAT elimination of `vars` from `f` with Ganai-style
+/// circuit cofactoring: every satisfying assignment is generalized by
+/// cofactoring the formula against the model's *input* values, yielding a
+/// whole state-set circuit per enumeration step.
+std::optional<Lit> allSatEliminate(aig::Aig& mgr, Lit f,
+                                   std::span<const VarId> vars,
+                                   int maxEnum, util::Stats& stats) {
+  // Restrict to variables actually present.
+  std::vector<VarId> live;
+  {
+    const auto support = mgr.supportVars(f);
+    for (const VarId v : vars)
+      if (std::binary_search(support.begin(), support.end(), v))
+        live.push_back(v);
+  }
+  if (live.empty() || f.isConstant()) return f;
+
+  sat::Solver solver;
+  cnf::AigCnf cnf(mgr, solver);
+  const sat::Lit target = cnf.litFor(f);
+
+  Lit result = aig::kFalse;
+  int count = 0;
+  for (;;) {
+    const sat::Lit assumptions[] = {target};
+    const sat::Status st = solver.solve(assumptions);
+    if (st == sat::Status::Unsat) break;
+    if (++count > maxEnum) {
+      stats.add("allsat.enum_overflow");
+      return std::nullopt;
+    }
+    // Circuit cofactoring (Ganai et al. [2]): substitute the model's
+    // values for the enumerated variables only.
+    std::unordered_map<VarId, Lit> consts;
+    consts.reserve(live.size());
+    for (const VarId v : live)
+      consts.emplace(v, cnf.modelOf(v) ? aig::kTrue : aig::kFalse);
+    const Lit cube = mgr.compose(f, consts);
+    result = mgr.mkOr(result, cube);
+    // Block every state covered by this cofactor.
+    solver.addClause({!cnf.litFor(cube)});
+    stats.add("allsat.enumerations");
+  }
+  return result;
+}
+
+}  // namespace
+
+CheckResult CircuitQuantReach::check(const Network& net) {
+  const auto eliminate =
+      [&](const detail::PreImageRequest& req) -> std::optional<Lit> {
+    quant::Quantifier q(*req.mgr, opts_.quant);
+    auto r = q.quantifyAll(req.formula, net.inputVars);
+    Lit f = r.f;
+    // A standalone circuit engine must finish the job: aborted variables
+    // are expanded without the growth bound.
+    for (const VarId v : r.residual) f = q.quantifyVarForced(f, v);
+    req.stats->merge(q.stats());
+    return f;
+  };
+  return detail::backwardReach(net, name(), opts_.limits,
+                               opts_.compactEachIteration,
+                               opts_.hardConeLimit, eliminate);
+}
+
+CheckResult AllSatPreimageReach::check(const Network& net) {
+  const auto eliminate =
+      [&](const detail::PreImageRequest& req) -> std::optional<Lit> {
+    return allSatEliminate(*req.mgr, req.formula, net.inputVars,
+                           opts_.maxEnumPerImage, *req.stats);
+  };
+  return detail::backwardReach(net, name(), opts_.limits,
+                               /*compactEachIteration=*/true,
+                               /*hardConeLimit=*/2'000'000, eliminate);
+}
+
+CheckResult HybridReach::check(const Network& net) {
+  const auto eliminate =
+      [&](const detail::PreImageRequest& req) -> std::optional<Lit> {
+    // Phase 1 (§4): partial circuit quantification — cheap variables are
+    // eliminated, blow-up-prone ones abort and stay.
+    quant::Quantifier q(*req.mgr, opts_.quant);
+    auto r = q.quantifyAll(req.formula, net.inputVars);
+    req.stats->merge(q.stats());
+    req.stats->add("hybrid.residual_vars",
+                   static_cast<std::int64_t>(r.residual.size()));
+    if (r.residual.empty()) return r.f;
+    // Phase 2: the remaining decision variables go to all-SAT enumeration.
+    return allSatEliminate(*req.mgr, r.f, r.residual, opts_.maxEnumPerImage,
+                           *req.stats);
+  };
+  return detail::backwardReach(net, name(), opts_.limits,
+                               /*compactEachIteration=*/true,
+                               /*hardConeLimit=*/2'000'000, eliminate);
+}
+
+PreprocessResult preprocessQuantifyInputs(const Network& net,
+                                          const quant::QuantOptions& opts) {
+  PreprocessResult out;
+  out.net.name = net.name + "+qpre";
+  out.net.stateVars = net.stateVars;
+  out.net.inputVars = net.inputVars;
+  out.net.init = net.init;
+
+  std::vector<Lit> roots(net.next.begin(), net.next.end());
+  roots.push_back(net.bad);
+  auto moved = out.net.aig.transferFrom(net.aig, roots);
+  out.net.next.assign(moved.begin(), moved.end() - 1);
+  Lit bad = moved.back();
+
+  // Inputs present in the bad cone.
+  std::vector<VarId> badInputs;
+  {
+    const auto support = out.net.aig.supportVars(bad);
+    for (const VarId v : net.inputVars)
+      if (std::binary_search(support.begin(), support.end(), v))
+        badInputs.push_back(v);
+  }
+  out.inputsBefore = badInputs.size();
+
+  quant::Quantifier q(out.net.aig, opts);
+  auto r = q.quantifyAll(bad, badInputs);
+  out.net.bad = r.f;
+
+  std::size_t after = 0;
+  {
+    const auto support = out.net.aig.supportVars(out.net.bad);
+    for (const VarId v : net.inputVars)
+      if (std::binary_search(support.begin(), support.end(), v)) ++after;
+  }
+  out.inputsAfter = after;
+  return out;
+}
+
+std::vector<std::unique_ptr<Engine>> makeAllEngines() {
+  std::vector<std::unique_ptr<Engine>> engines;
+  engines.push_back(std::make_unique<CircuitQuantReach>());
+  engines.push_back(std::make_unique<CircuitQuantForwardReach>());
+  engines.push_back(std::make_unique<BddBackwardReach>());
+  engines.push_back(std::make_unique<BddForwardReach>());
+  engines.push_back(std::make_unique<Bmc>());
+  engines.push_back(std::make_unique<KInduction>());
+  engines.push_back(std::make_unique<AllSatPreimageReach>());
+  engines.push_back(std::make_unique<HybridReach>());
+  return engines;
+}
+
+}  // namespace cbq::mc

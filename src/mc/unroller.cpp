@@ -1,0 +1,120 @@
+#include "mc/unroller.hpp"
+
+#include <cassert>
+
+namespace cbq::mc {
+
+sat::Lit Unroller::encodeAt(aig::Lit l, Frame& frame) {
+  auto& memo = frameMemo_.back();  // memo of the frame being built
+  const aig::Aig& a = net_->aig;
+
+  // Iterative post-order encoding of the cone inside this frame.
+  struct Item {
+    aig::NodeId node;
+    bool expand;
+  };
+  std::vector<Item> stack{{l.node(), false}};
+  while (!stack.empty()) {
+    auto [n, expand] = stack.back();
+    stack.pop_back();
+    if (expand) {
+      const aig::Lit f0 = a.fanin0(n);
+      const aig::Lit f1 = a.fanin1(n);
+      const sat::Lit sa = memo.at(f0.node()) ^ f0.negated();
+      const sat::Lit sb = memo.at(f1.node()) ^ f1.negated();
+      const sat::Lit v(solver_->newVar(), false);
+      solver_->addClause({!v, sa});
+      solver_->addClause({!v, sb});
+      solver_->addClause({!sa, !sb, v});
+      memo.emplace(n, v);
+      continue;
+    }
+    if (memo.contains(n)) continue;
+    if (a.isConst(n)) {
+      if (constFalse_ == sat::kUndefLit) {
+        constFalse_ = sat::Lit(solver_->newVar(), false);
+        solver_->addClause({!constFalse_});
+      }
+      memo.emplace(n, constFalse_);
+    } else if (a.isPi(n)) {
+      const aig::VarId var = a.piVar(n);
+      if (auto it = latchIndex_.find(var); it != latchIndex_.end()) {
+        memo.emplace(n, frame.state[it->second]);
+      } else {
+        auto [it2, inserted] = frame.inputs.try_emplace(var, sat::kUndefLit);
+        if (inserted) it2->second = sat::Lit(solver_->newVar(), false);
+        memo.emplace(n, it2->second);
+      }
+    } else {
+      stack.push_back({n, true});
+      stack.push_back({a.fanin0(n).node(), false});
+      stack.push_back({a.fanin1(n).node(), false});
+    }
+  }
+  return memo.at(l.node()) ^ l.negated();
+}
+
+void Unroller::ensureFrame(int k) {
+  if (!latchIndexBuilt_) {
+    for (std::size_t i = 0; i < net_->stateVars.size(); ++i)
+      latchIndex_.emplace(net_->stateVars[i], i);
+    latchIndexBuilt_ = true;
+  }
+  while (numFrames() <= k) {
+    const int j = numFrames();
+    // Frame j's state literals are frame j-1's next-state outputs.
+    std::vector<sat::Lit> state;
+    if (j == 0) {
+      state.resize(net_->numLatches());
+      for (auto& s : state) s = sat::Lit(solver_->newVar(), false);
+    } else {
+      state = frames_[static_cast<std::size_t>(j - 1)].next;
+    }
+    frames_.emplace_back();
+    frameMemo_.emplace_back();
+    Frame& fr = frames_.back();
+    fr.state = std::move(state);
+
+    // Encode bad and all next-state functions inside this frame.
+    fr.bad = encodeAt(net_->bad, fr);
+    fr.next.reserve(net_->next.size());
+    for (const aig::Lit nx : net_->next) fr.next.push_back(encodeAt(nx, fr));
+  }
+}
+
+void Unroller::assertInit() {
+  ensureFrame(0);
+  for (std::size_t i = 0; i < net_->numLatches(); ++i)
+    solver_->addClause({stateLit(0, i) ^ !net_->init[i]});
+}
+
+std::unordered_map<aig::VarId, bool> Unroller::modelInputs(int k) const {
+  std::unordered_map<aig::VarId, bool> out;
+  const Frame& fr = frames_[static_cast<std::size_t>(k)];
+  for (const aig::VarId v : net_->inputVars) {
+    auto it = fr.inputs.find(v);
+    out.emplace(v, it != fr.inputs.end() && solver_->modelTrue(it->second));
+  }
+  return out;
+}
+
+void Unroller::assertDistinct(int i, int j) {
+  // diff_l <-> (s_i[l] XOR s_j[l]); clause: OR_l diff_l.
+  std::vector<sat::Lit> clause;
+  clause.reserve(net_->numLatches());
+  for (std::size_t l = 0; l < net_->numLatches(); ++l) {
+    const sat::Lit a = stateLit(i, l);
+    const sat::Lit b = stateLit(j, l);
+    const sat::Lit d(solver_->newVar(), false);
+    // d -> (a XOR b): (!d | a | b), (!d | !a | !b)
+    solver_->addClause({!d, a, b});
+    solver_->addClause({!d, !a, !b});
+    // (a XOR b) -> d: (d | !a | b), (d | a | !b)
+    solver_->addClause({d, !a, b});
+    solver_->addClause({d, a, !b});
+    clause.push_back(d);
+  }
+  solver_->addClause(clause);
+}
+
+}  // namespace cbq::mc

@@ -1,0 +1,375 @@
+#include "sweep/sweeper.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bdd/bdd.hpp"
+#include "cnf/aig_cnf.hpp"
+#include "sat/solver.hpp"
+#include "util/random.hpp"
+
+namespace cbq::sweep {
+
+namespace {
+
+using aig::Lit;
+using aig::NodeId;
+using aig::VarId;
+
+std::uint64_t negMask(bool b) { return b ? ~std::uint64_t{0} : 0; }
+
+/// Multi-word signatures for every node in the cone.
+class Signatures {
+ public:
+  Signatures(const aig::Aig& aig, std::span<const NodeId> order,
+             std::span<const VarId> support, util::Random& rng, int words)
+      : aig_(&aig), order_(order.begin(), order.end()) {
+    for (const VarId v : support) {
+      auto& w = piWords_[v];
+      w.resize(static_cast<std::size_t>(words));
+      for (auto& x : w) x = rng.next64();
+    }
+    resimulate();
+  }
+
+  /// Appends one simulation word per PI: bit j of `cexBits[v]` is the j-th
+  /// stored counterexample value; unused bits are random noise.
+  void appendWord(const std::unordered_map<VarId, std::uint64_t>& cexBits,
+                  int cexCount, util::Random& rng) {
+    const std::uint64_t keepMask =
+        cexCount >= 64 ? ~std::uint64_t{0}
+                       : ((std::uint64_t{1} << cexCount) - 1);
+    for (auto& [v, w] : piWords_) {
+      std::uint64_t word = rng.next64() & ~keepMask;
+      if (auto it = cexBits.find(v); it != cexBits.end())
+        word |= (it->second & keepMask);
+      w.push_back(word);
+    }
+    resimulate();
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& of(NodeId n) const {
+    return sig_[n];
+  }
+
+  /// Complement-normalized signature as an exact hash key, plus the phase
+  /// that was applied (true = signature was complemented).
+  [[nodiscard]] std::pair<std::string, bool> normalizedKey(NodeId n) const {
+    const auto& s = sig_[n];
+    const bool phase = (s[0] & 1) != 0;
+    std::string key;
+    key.reserve(s.size() * sizeof(std::uint64_t));
+    for (std::uint64_t w : s) {
+      if (phase) w = ~w;
+      key.append(reinterpret_cast<const char*>(&w), sizeof(w));
+    }
+    return {std::move(key), phase};
+  }
+
+  [[nodiscard]] bool allZero(NodeId n) const {
+    for (const std::uint64_t w : sig_[n])
+      if (w != 0) return false;
+    return true;
+  }
+  [[nodiscard]] bool allOne(NodeId n) const {
+    for (const std::uint64_t w : sig_[n])
+      if (w != ~std::uint64_t{0}) return false;
+    return true;
+  }
+
+ private:
+  void resimulate() {
+    const std::size_t words = piWords_.empty()
+                                  ? 1
+                                  : piWords_.begin()->second.size();
+    sig_.assign(aig_->numNodes(), {});
+    sig_[0].assign(words, 0);  // constant node
+    for (const auto& [v, w] : piWords_) sig_[aig_->piNodeOf(v)] = w;
+    for (const NodeId n : order_) {
+      const Lit f0 = aig_->fanin0(n);
+      const Lit f1 = aig_->fanin1(n);
+      auto& out = sig_[n];
+      out.resize(words);
+      const auto& a = sig_[f0.node()];
+      const auto& b = sig_[f1.node()];
+      for (std::size_t w = 0; w < words; ++w) {
+        out[w] = (a[w] ^ negMask(f0.negated())) &
+                 (b[w] ^ negMask(f1.negated()));
+      }
+    }
+  }
+
+  const aig::Aig* aig_;
+  std::vector<NodeId> order_;
+  std::unordered_map<VarId, std::vector<std::uint64_t>> piWords_;
+  std::vector<std::vector<std::uint64_t>> sig_;
+};
+
+/// Nodes reachable from `roots` when merges in `mergeMap` are applied —
+/// backward mode skips compare points that merging has already detached.
+std::unordered_set<NodeId> referencedNodes(
+    const aig::Aig& aig, std::span<const Lit> roots,
+    const std::unordered_map<NodeId, Lit>& mergeMap) {
+  std::unordered_set<NodeId> seen;
+  std::vector<NodeId> stack;
+  for (const Lit r : roots) stack.push_back(r.node());
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n).second) continue;
+    if (auto it = mergeMap.find(n); it != mergeMap.end()) {
+      stack.push_back(it->second.node());
+    } else if (aig.isAnd(n)) {
+      stack.push_back(aig.fanin0(n).node());
+      stack.push_back(aig.fanin1(n).node());
+    }
+  }
+  return seen;
+}
+
+}  // namespace
+
+SweepResult sweep(aig::Aig& aig, std::span<const Lit> roots,
+                  const SweepOptions& opts) {
+  SweepResult out;
+  out.roots.assign(roots.begin(), roots.end());
+  const auto order = aig.coneAnds(roots);
+  out.stats.nodesBefore = order.size();
+  if (order.empty()) {
+    out.stats.nodesAfter = 0;
+    return out;
+  }
+  const auto support = aig.supportVars(roots);
+
+  util::Random rng(opts.seed);
+  Signatures sigs(aig, order, support, rng, std::max(opts.numWords, 1));
+
+  // Candidate pool: PIs first (they can only be representatives), then AND
+  // nodes in topological order, so every merge points at a topologically
+  // earlier node and the final rebuild map is acyclic.
+  std::vector<NodeId> pool;
+  pool.reserve(support.size() + order.size());
+  for (const VarId v : support) pool.push_back(aig.piNodeOf(v));
+  pool.insert(pool.end(), order.begin(), order.end());
+  std::unordered_map<NodeId, std::size_t> poolPos;
+  for (std::size_t i = 0; i < pool.size(); ++i) poolPos.emplace(pool[i], i);
+
+  std::unordered_map<NodeId, Lit> mergeMap;
+  std::unordered_set<NodeId> disqualified;
+
+  // ----- layer 2: BDD sweeping -------------------------------------------
+  if (opts.useBdd && opts.bddNodeLimit > 0) {
+    bdd::BddManager bm(opts.bddNodeLimit);
+    std::vector<bdd::BddRef> nodeBdd(aig.numNodes(), bdd::kFalseBdd);
+    std::vector<bool> hasBdd(aig.numNodes(), false);
+    nodeBdd[0] = bdd::kFalseBdd;
+    hasBdd[0] = true;
+    for (const VarId v : support) {
+      const NodeId p = aig.piNodeOf(v);
+      try {
+        nodeBdd[p] = bm.var(v);
+        hasBdd[p] = true;
+      } catch (const bdd::NodeLimitExceeded&) {
+        break;
+      }
+    }
+    for (const NodeId n : order) {
+      const Lit f0 = aig.fanin0(n);
+      const Lit f1 = aig.fanin1(n);
+      if (!hasBdd[f0.node()] || !hasBdd[f1.node()]) continue;
+      try {
+        const bdd::BddRef a =
+            f0.negated() ? bm.bddNot(nodeBdd[f0.node()]) : nodeBdd[f0.node()];
+        const bdd::BddRef b =
+            f1.negated() ? bm.bddNot(nodeBdd[f1.node()]) : nodeBdd[f1.node()];
+        nodeBdd[n] = bm.bddAnd(a, b);
+        hasBdd[n] = true;
+      } catch (const bdd::NodeLimitExceeded&) {
+        // This cone is too wide for the budget; fanouts drop out too.
+      }
+    }
+    // Pointer-equality detection (modulo complement) in pool order.
+    std::unordered_map<bdd::BddRef, Lit> bddRep;
+    for (const NodeId n : pool) {
+      if (!hasBdd[n]) continue;
+      const bdd::BddRef b = nodeBdd[n];
+      if (aig.isAnd(n)) {
+        if (b == bdd::kFalseBdd || b == bdd::kTrueBdd) {
+          mergeMap.emplace(n, b == bdd::kTrueBdd ? aig::kTrue : aig::kFalse);
+          ++out.stats.constMerges;
+          continue;
+        }
+        if (auto it = bddRep.find(b); it != bddRep.end()) {
+          mergeMap.emplace(n, it->second);
+          ++out.stats.bddMerges;
+          continue;
+        }
+        bdd::BddRef nb;
+        try {
+          nb = bm.bddNot(b);
+        } catch (const bdd::NodeLimitExceeded&) {
+          bddRep.emplace(b, Lit(n, false));
+          continue;
+        }
+        if (auto it = bddRep.find(nb); it != bddRep.end()) {
+          mergeMap.emplace(n, !it->second);
+          ++out.stats.bddMerges;
+          continue;
+        }
+      }
+      bddRep.emplace(b, Lit(n, false));
+    }
+  }
+
+  // ----- layer 3: SAT sweeping with cex-guided refinement ------------------
+  sat::Solver solver;
+  cnf::AigCnf cnf(aig, solver);
+
+  auto learn = [&](Lit a, Lit b) {
+    if (!opts.learnEquivalences) return;
+    const sat::Lit la = cnf.litFor(a);
+    const sat::Lit lb = cnf.litFor(b);
+    solver.addClause({!la, lb});
+    solver.addClause({la, !lb});
+  };
+
+  struct EquivClass {
+    Lit rep;                      // representative literal (phase-adjusted)
+    std::vector<NodeId> members;  // candidate nodes, pool order
+    std::uint32_t maxLevel = 0;
+    bool constant = false;        // class of constant candidates
+    bool constValue = false;
+  };
+
+  for (int round = 0; opts.useSat && round < opts.maxRounds; ++round) {
+    ++out.stats.rounds;
+
+    // Build candidate classes from the current signatures.
+    std::unordered_map<std::string, std::size_t> classIndex;
+    std::vector<EquivClass> classes;
+    std::unordered_set<NodeId> referenced;
+    if (opts.backward) referenced = referencedNodes(aig, roots, mergeMap);
+
+    for (const NodeId n : pool) {
+      if (mergeMap.contains(n) || disqualified.contains(n)) continue;
+      if (opts.backward && !referenced.contains(n)) {
+        if (aig.isAnd(n)) ++out.stats.skippedUnreferenced;
+        continue;
+      }
+      if (aig.isAnd(n) && (sigs.allZero(n) || sigs.allOne(n))) {
+        // Candidate constant node.
+        EquivClass cls;
+        cls.rep = sigs.allOne(n) ? aig::kTrue : aig::kFalse;
+        cls.members = {n};
+        cls.maxLevel = aig.level(n);
+        cls.constant = true;
+        cls.constValue = sigs.allOne(n);
+        classes.push_back(std::move(cls));
+        continue;
+      }
+      auto [key, phase] = sigs.normalizedKey(n);
+      if (auto it = classIndex.find(key); it != classIndex.end()) {
+        auto& cls = classes[it->second];
+        // Member literal must equal rep ^ relativePhase; rep was stored
+        // with its own normalization phase folded in.
+        cls.members.push_back(n);
+        cls.maxLevel = std::max(cls.maxLevel, aig.level(n));
+      } else {
+        EquivClass cls;
+        cls.rep = Lit(n, false) ^ phase;  // normalized function
+        cls.members = {n};
+        cls.maxLevel = aig.level(n);
+        classIndex.emplace(std::move(key), classes.size());
+        classes.push_back(std::move(cls));
+      }
+    }
+
+    // Processing order: forward = natural (class of earliest rep first);
+    // backward = classes containing the highest nodes first.
+    std::vector<std::size_t> clsOrder(classes.size());
+    for (std::size_t i = 0; i < clsOrder.size(); ++i) clsOrder[i] = i;
+    if (opts.backward) {
+      std::stable_sort(clsOrder.begin(), clsOrder.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return classes[a].maxLevel > classes[b].maxLevel;
+                       });
+    }
+
+    std::unordered_map<VarId, std::uint64_t> cexBits;
+    int cexCount = 0;
+
+    for (const std::size_t ci : clsOrder) {
+      auto& cls = classes[ci];
+      const std::size_t begin = cls.constant ? 0 : 1;
+      if (cls.members.size() <= begin) continue;
+
+      std::vector<NodeId> members(cls.members.begin() +
+                                      static_cast<std::ptrdiff_t>(begin),
+                                  cls.members.end());
+      if (opts.backward) std::reverse(members.begin(), members.end());
+
+      for (const NodeId m : members) {
+        if (cexCount >= 64) break;  // next round will pick the rest up
+        if (mergeMap.contains(m) || disqualified.contains(m)) continue;
+
+        cnf::Verdict verdict;
+        Lit target;
+        if (cls.constant) {
+          verdict = cnf::checkConstant(cnf, Lit(m, false), cls.constValue,
+                                       opts.satBudget);
+          target = cls.constValue ? aig::kTrue : aig::kFalse;
+        } else {
+          // Relative phase of m against the normalized class function.
+          auto [key, phase] = sigs.normalizedKey(m);
+          target = cls.rep ^ phase;
+          verdict =
+              cnf::checkEquiv(cnf, Lit(m, false), target, opts.satBudget);
+        }
+        ++out.stats.satChecks;
+
+        switch (verdict) {
+          case cnf::Verdict::Holds: {
+            mergeMap.emplace(m, target);
+            if (cls.constant) {
+              ++out.stats.constMerges;
+              if (opts.learnEquivalences) {
+                const sat::Lit lm =
+                    cnf.litFor(Lit(m, false)) ^ cls.constValue;
+                solver.addClause({!lm});
+              }
+            } else {
+              ++out.stats.satMerges;
+              learn(Lit(m, false), target);
+            }
+            break;
+          }
+          case cnf::Verdict::Fails: {
+            ++out.stats.satRefuted;
+            for (const VarId v : support) {
+              const std::uint64_t bit = cnf.modelOf(v) ? 1 : 0;
+              cexBits[v] |= bit << cexCount;
+            }
+            ++cexCount;
+            break;
+          }
+          case cnf::Verdict::Unknown: {
+            ++out.stats.satUnknown;
+            disqualified.insert(m);
+            break;
+          }
+        }
+      }
+    }
+
+    if (cexCount == 0) break;  // signatures are stable: no more candidates
+    sigs.appendWord(cexBits, cexCount, rng);
+  }
+
+  out.roots = aig.rebuildWithNodeMap(roots, mergeMap);
+  out.stats.nodesAfter = aig.coneSize(out.roots);
+  return out;
+}
+
+}  // namespace cbq::sweep

@@ -1,0 +1,324 @@
+#include "synth/dc_simplify.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cnf/aig_cnf.hpp"
+#include "sat/solver.hpp"
+#include "util/random.hpp"
+
+namespace cbq::synth {
+
+namespace {
+
+using aig::Lit;
+using aig::NodeId;
+using aig::VarId;
+
+std::uint64_t negMask(bool b) { return b ? ~std::uint64_t{0} : 0; }
+
+/// Simulation of the joint cone of fRef and fTgt with per-word care masks
+/// (care = ¬fRef: inputs where the reference cofactor is 0).
+class CareSim {
+ public:
+  CareSim(const aig::Aig& aig, Lit fRef, Lit fTgt, util::Random& rng,
+          int words)
+      : aig_(&aig), fRef_(fRef), fTgt_(fTgt) {
+    const Lit both[] = {fRef, fTgt};
+    order_ = aig.coneAnds(both);
+    support_ = aig.supportVars(both);
+    for (const VarId v : support_) {
+      auto& w = piWords_[v];
+      w.resize(static_cast<std::size_t>(words));
+      for (auto& x : w) x = rng.next64();
+    }
+    resimulate();
+  }
+
+  void appendWord(const std::unordered_map<VarId, std::uint64_t>& cexBits,
+                  int cexCount, util::Random& rng) {
+    const std::uint64_t keepMask =
+        cexCount >= 64 ? ~std::uint64_t{0}
+                       : ((std::uint64_t{1} << cexCount) - 1);
+    for (auto& [v, w] : piWords_) {
+      std::uint64_t word = rng.next64() & ~keepMask;
+      if (auto it = cexBits.find(v); it != cexBits.end())
+        word |= (it->second & keepMask);
+      w.push_back(word);
+    }
+    resimulate();
+  }
+
+  /// Value of a node literal, masked to the care set, as an exact key.
+  [[nodiscard]] std::string careKey(Lit l) const {
+    const auto& s = sig_[l.node()];
+    std::string key;
+    key.reserve(care_.size() * sizeof(std::uint64_t));
+    for (std::size_t w = 0; w < care_.size(); ++w) {
+      const std::uint64_t masked =
+          (s[w] ^ negMask(l.negated())) & care_[w];
+      key.append(reinterpret_cast<const char*>(&masked), sizeof(masked));
+    }
+    return key;
+  }
+
+  /// True when the literal is constant `value` on every care-set pattern.
+  [[nodiscard]] bool careConstant(Lit l, bool value) const {
+    const auto& s = sig_[l.node()];
+    for (std::size_t w = 0; w < care_.size(); ++w) {
+      const std::uint64_t litVal = s[w] ^ negMask(l.negated());
+      // Mismatch bits: care patterns where the literal differs from value.
+      if (((litVal ^ negMask(value)) & care_[w]) != 0) return false;
+    }
+    return true;
+  }
+
+  /// Any care-set pattern at all in the current words?
+  [[nodiscard]] bool hasCareBits() const {
+    for (const std::uint64_t w : care_)
+      if (w != 0) return true;
+    return false;
+  }
+
+  [[nodiscard]] const std::vector<NodeId>& order() const { return order_; }
+  [[nodiscard]] const std::vector<VarId>& support() const { return support_; }
+
+  /// AND nodes of fTgt's cone only, topological.
+  [[nodiscard]] std::vector<NodeId> targetOrder() const {
+    const Lit roots[] = {fTgt_};
+    return aig_->coneAnds(roots);
+  }
+
+ private:
+  void resimulate() {
+    const std::size_t words =
+        piWords_.empty() ? 1 : piWords_.begin()->second.size();
+    sig_.assign(aig_->numNodes(), {});
+    sig_[0].assign(words, 0);
+    for (const auto& [v, w] : piWords_) sig_[aig_->piNodeOf(v)] = w;
+    for (const NodeId n : order_) {
+      const Lit f0 = aig_->fanin0(n);
+      const Lit f1 = aig_->fanin1(n);
+      auto& outw = sig_[n];
+      outw.resize(words);
+      const auto& a = sig_[f0.node()];
+      const auto& b = sig_[f1.node()];
+      for (std::size_t w = 0; w < words; ++w) {
+        outw[w] = (a[w] ^ negMask(f0.negated())) &
+                  (b[w] ^ negMask(f1.negated()));
+      }
+    }
+    // care = ¬fRef.
+    care_.resize(words);
+    const auto& rs = sig_[fRef_.node()];
+    for (std::size_t w = 0; w < words; ++w)
+      care_[w] = ~(rs[w] ^ negMask(fRef_.negated()));
+  }
+
+  const aig::Aig* aig_;
+  Lit fRef_, fTgt_;
+  std::vector<NodeId> order_;
+  std::vector<VarId> support_;
+  std::unordered_map<VarId, std::vector<std::uint64_t>> piWords_;
+  std::vector<std::vector<std::uint64_t>> sig_;
+  std::vector<std::uint64_t> care_;
+};
+
+/// UNSAT(¬fRef ∧ a ≠ b)? Two assumption-only queries per check.
+cnf::Verdict checkEquivUnderCare(cnf::AigCnf& cnf, Lit notRef, Lit a, Lit b,
+                                 std::int64_t budget) {
+  if (a == b) return cnf::Verdict::Holds;
+  const sat::Lit lc = cnf.litFor(notRef);
+  const sat::Lit la = cnf.litFor(a);
+  const sat::Lit lb = cnf.litFor(b);
+  {
+    const sat::Lit assumptions[] = {lc, la, !lb};
+    switch (cnf.solver().solveLimited(assumptions, budget)) {
+      case sat::Status::Sat:
+        return cnf::Verdict::Fails;
+      case sat::Status::Undef:
+        return cnf::Verdict::Unknown;
+      case sat::Status::Unsat:
+        break;
+    }
+  }
+  {
+    const sat::Lit assumptions[] = {lc, !la, lb};
+    switch (cnf.solver().solveLimited(assumptions, budget)) {
+      case sat::Status::Sat:
+        return cnf::Verdict::Fails;
+      case sat::Status::Undef:
+        return cnf::Verdict::Unknown;
+      case sat::Status::Unsat:
+        return cnf::Verdict::Holds;
+    }
+  }
+  return cnf::Verdict::Unknown;
+}
+
+}  // namespace
+
+DcResult dcSimplify(aig::Aig& aig, Lit fRef, Lit fTgt, const DcOptions& opts) {
+  DcResult out;
+  out.target = fTgt;
+  {
+    const Lit roots[] = {fTgt};
+    out.stats.nodesBefore = aig.coneSize(roots);
+  }
+  if (fTgt.isConstant() || fRef.isTrue()) {
+    // fRef ≡ 1 makes everything don't-care: fRef ∨ fTgt ≡ 1 regardless,
+    // so the cheapest valid target is constant false.
+    if (fRef.isTrue()) out.target = aig::kFalse;
+    out.stats.nodesAfter = aig.coneSize(out.target);
+    return out;
+  }
+
+  util::Random rng(opts.seed);
+  CareSim sim(aig, fRef, fTgt, rng, std::max(opts.numWords, 1));
+
+  sat::Solver solver;
+  cnf::AigCnf cnf(aig, solver);
+  const Lit notRef = !fRef;
+
+  // ----- phase A: input-DC replacements (cex-refined rounds) -------------
+  std::unordered_map<NodeId, Lit> careMap;
+  std::unordered_set<NodeId> disqualified;
+
+  for (int round = 0; round < opts.maxRounds; ++round) {
+    const auto targetOrder = sim.targetOrder();
+    std::unordered_map<std::string, Lit> repByKey;
+    // PIs of the joint support act as merge representatives too.
+    for (const VarId v : sim.support())
+      repByKey.emplace(sim.careKey(Lit(aig.piNodeOf(v), false)),
+                       Lit(aig.piNodeOf(v), false));
+
+    std::unordered_map<VarId, std::uint64_t> cexBits;
+    int cexCount = 0;
+
+    for (const NodeId n : targetOrder) {
+      if (cexCount >= 64) break;
+      if (careMap.contains(n) || disqualified.contains(n)) continue;
+      const Lit ln(n, false);
+
+      // Proposed candidate: constant, or an earlier node with identical
+      // care-masked signature (checking both phases).
+      Lit candidate = ln;
+      bool haveCandidate = false;
+      if (sim.careConstant(ln, false)) {
+        candidate = aig::kFalse;
+        haveCandidate = true;
+      } else if (sim.careConstant(ln, true)) {
+        candidate = aig::kTrue;
+        haveCandidate = true;
+      } else {
+        if (auto it = repByKey.find(sim.careKey(ln)); it != repByKey.end()) {
+          candidate = it->second;
+          haveCandidate = true;
+        } else if (auto it2 = repByKey.find(sim.careKey(!ln));
+                   it2 != repByKey.end()) {
+          candidate = !it2->second;
+          haveCandidate = true;
+        }
+      }
+      if (!haveCandidate) {
+        repByKey.emplace(sim.careKey(ln), ln);
+        continue;
+      }
+
+      ++out.stats.satChecks;
+      const cnf::Verdict verdict =
+          checkEquivUnderCare(cnf, notRef, ln, candidate, opts.satBudget);
+      switch (verdict) {
+        case cnf::Verdict::Holds: {
+          careMap.emplace(n, candidate);
+          if (candidate.isConstant())
+            ++out.stats.constReplacements;
+          else
+            ++out.stats.mergeReplacements;
+          break;
+        }
+        case cnf::Verdict::Fails: {
+          ++out.stats.satRefuted;
+          for (const VarId v : sim.support()) {
+            const std::uint64_t bit = cnf.modelOf(v) ? 1 : 0;
+            cexBits[v] |= bit << cexCount;
+          }
+          ++cexCount;
+          // Keep the node available as a representative for later nodes.
+          repByKey.emplace(sim.careKey(ln), ln);
+          break;
+        }
+        case cnf::Verdict::Unknown: {
+          ++out.stats.satUnknown;
+          disqualified.insert(n);
+          break;
+        }
+      }
+    }
+
+    if (cexCount == 0) break;
+    sim.appendWord(cexBits, cexCount, rng);
+  }
+
+  {
+    const Lit roots[] = {fTgt};
+    out.target = aig.rebuildWithNodeMap(roots, careMap).front();
+  }
+
+  // ----- phase B: ODC attempts, each verified end-to-end ------------------
+  if (opts.useOdc) {
+    int attempts = 0;
+    bool changed = true;
+    while (changed && attempts < opts.odcAttempts) {
+      changed = false;
+      Lit current = out.target;
+      const Lit curRoots[] = {current};
+      const auto order = aig.coneAnds(curRoots);
+      const std::size_t curSize = order.size();
+      for (const NodeId n : order) {
+        if (attempts >= opts.odcAttempts) break;
+        for (const bool value : {false, true}) {
+          if (attempts >= opts.odcAttempts) break;
+          ++attempts;
+          std::unordered_map<NodeId, Lit> tentativeMap{
+              {n, value ? aig::kTrue : aig::kFalse}};
+          const Lit tentative =
+              aig.rebuildWithNodeMap(curRoots, tentativeMap).front();
+          const Lit tentRoots[] = {tentative};
+          if (aig.coneSize(tentRoots) >= curSize) continue;
+          // The paper's extra equivalence check: is the EXOR between the
+          // node before/after observable at fRef ∨ fTgt?
+          const Lit before = aig.mkOr(fRef, current);
+          const Lit after = aig.mkOr(fRef, tentative);
+          ++out.stats.satChecks;
+          if (cnf::checkEquiv(cnf, before, after, opts.satBudget) ==
+              cnf::Verdict::Holds) {
+            out.target = tentative;
+            ++out.stats.odcReplacements;
+            changed = true;
+            break;
+          }
+        }
+        if (changed) break;  // restart scan on the new, smaller cone
+      }
+    }
+  }
+
+  {
+    const Lit roots[] = {out.target};
+    out.stats.nodesAfter = aig.coneSize(roots);
+  }
+  return out;
+}
+
+std::vector<aig::Lit> rewrite(aig::Aig& aig,
+                              std::span<const aig::Lit> roots) {
+  // Rebuilding with an empty node map re-drives every cone node through
+  // mkAnd, re-applying the one/two-level rules and current strash table.
+  static const std::unordered_map<NodeId, Lit> kEmpty;
+  return aig.rebuildWithNodeMap(roots, kEmpty);
+}
+
+}  // namespace cbq::synth

@@ -1,0 +1,71 @@
+#pragma once
+// Lightweight named-counter registry. Engines and the quantifier expose
+// their internal activity (SAT checks, merges, aborts, ...) through these
+// so tests and benches can assert on behaviour, not just results.
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace cbq::util {
+
+/// A bag of named 64-bit counters and named double gauges.
+class Stats {
+ public:
+  /// Adds `delta` to counter `name` (creating it at zero).
+  void add(const std::string& name, std::int64_t delta = 1) {
+    counters_[name] += delta;
+  }
+
+  /// Sets gauge `name` to `value` (last write wins).
+  void set(const std::string& name, double value) { gauges_[name] = value; }
+
+  /// Keeps the maximum ever seen for gauge `name`.
+  void high(const std::string& name, double value) {
+    auto [it, inserted] = gauges_.emplace(name, value);
+    if (!inserted && value > it->second) it->second = value;
+  }
+
+  /// Counter value; zero when never touched.
+  [[nodiscard]] std::int64_t count(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  /// Gauge value; zero when never touched.
+  [[nodiscard]] double gauge(const std::string& name) const {
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+  }
+
+  /// Merges another stats bag into this one (counters add, gauges max).
+  void merge(const Stats& other) {
+    for (const auto& [k, v] : other.counters_) counters_[k] += v;
+    for (const auto& [k, v] : other.gauges_) high(k, v);
+  }
+
+  void clear() {
+    counters_.clear();
+    gauges_.clear();
+  }
+
+  [[nodiscard]] const std::map<std::string, std::int64_t>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, double>& gauges() const {
+    return gauges_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Stats& s) {
+    for (const auto& [k, v] : s.counters_) os << k << " = " << v << '\n';
+    for (const auto& [k, v] : s.gauges_) os << k << " = " << v << '\n';
+    return os;
+  }
+
+ private:
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, double> gauges_;
+};
+
+}  // namespace cbq::util

@@ -1,0 +1,67 @@
+#pragma once
+// Plain-text table formatting shared by the benchmark harnesses so every
+// regenerated table/figure prints with a uniform layout.
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cbq::util {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Appends a row; short rows are padded with empty cells.
+  void addRow(std::vector<std::string> cells) {
+    cells.resize(header_.size());
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Formats a double with fixed precision for table cells.
+  static std::string num(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+      width[c] = header_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size(); ++c)
+        width[c] = std::max(width[c], row[c].size());
+
+    auto line = [&](char fill) {
+      for (std::size_t c = 0; c < header_.size(); ++c) {
+        os << '+' << std::string(width[c] + 2, fill);
+      }
+      os << "+\n";
+    };
+    auto printRow = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < header_.size(); ++c) {
+        os << "| " << std::left << std::setw(static_cast<int>(width[c]))
+           << row[c] << ' ';
+      }
+      os << "|\n";
+    };
+
+    line('-');
+    printRow(header_);
+    line('=');
+    for (const auto& row : rows_) printRow(row);
+    line('-');
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cbq::util

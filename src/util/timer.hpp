@@ -1,0 +1,50 @@
+#pragma once
+// Wall-clock timing helpers used by engines and benchmark harnesses.
+
+#include <chrono>
+#include <cstdint>
+
+namespace cbq::util {
+
+/// Monotonic stopwatch. Started on construction; restartable.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction / last restart.
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Soft deadline used by engines that honour a time budget.
+/// A budget of zero (default) means "no limit".
+class Deadline {
+ public:
+  Deadline() = default;
+  explicit Deadline(double budgetSeconds) : budget_(budgetSeconds) {}
+
+  /// True once the budget has been consumed (never true when unlimited).
+  [[nodiscard]] bool expired() const {
+    return budget_ > 0.0 && timer_.seconds() >= budget_;
+  }
+
+  [[nodiscard]] double budgetSeconds() const { return budget_; }
+  [[nodiscard]] double elapsedSeconds() const { return timer_.seconds(); }
+
+ private:
+  Timer timer_;
+  double budget_ = 0.0;
+};
+
+}  // namespace cbq::util

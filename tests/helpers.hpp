@@ -1,0 +1,69 @@
+#pragma once
+// Shared test utilities: random AIG generation and exhaustive equivalence
+// checking against truth tables (the independent referee for everything
+// the SAT/BDD/sweeping machinery claims).
+
+#include <unordered_map>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "util/random.hpp"
+
+namespace cbq::test {
+
+/// Builds a random AIG over `numVars` PIs (varIds 0..numVars-1) by
+/// stacking `numOps` random AND/OR/XOR/MUX operations; returns the root.
+inline aig::Lit randomFormula(aig::Aig& g, util::Random& rng, int numVars,
+                              int numOps) {
+  std::vector<aig::Lit> pool;
+  pool.push_back(aig::kTrue);
+  for (int v = 0; v < numVars; ++v)
+    pool.push_back(g.pi(static_cast<aig::VarId>(v)));
+
+  auto pick = [&]() {
+    aig::Lit l = pool[rng.below(pool.size())];
+    return rng.flip() ? !l : l;
+  };
+  for (int i = 0; i < numOps; ++i) {
+    aig::Lit r;
+    switch (rng.below(4)) {
+      case 0:
+        r = g.mkAnd(pick(), pick());
+        break;
+      case 1:
+        r = g.mkOr(pick(), pick());
+        break;
+      case 2:
+        r = g.mkXor(pick(), pick());
+        break;
+      default:
+        r = g.mkMux(pick(), pick(), pick());
+        break;
+    }
+    pool.push_back(r);
+  }
+  return pool.back();
+}
+
+/// Truth table of `root` over varIds 0..numVars-1 (numVars <= 20).
+inline std::vector<bool> truthTable(const aig::Aig& g, aig::Lit root,
+                                    int numVars) {
+  std::vector<bool> tt;
+  tt.reserve(std::size_t{1} << numVars);
+  for (std::uint64_t m = 0; m < (std::uint64_t{1} << numVars); ++m) {
+    std::unordered_map<aig::VarId, bool> a;
+    for (int v = 0; v < numVars; ++v)
+      a.emplace(static_cast<aig::VarId>(v), ((m >> v) & 1) != 0);
+    tt.push_back(g.evaluate(root, a));
+  }
+  return tt;
+}
+
+/// Exhaustive functional equality of two literals over the first
+/// `numVars` variables.
+inline bool equivalentExhaustive(const aig::Aig& g, aig::Lit a, aig::Lit b,
+                                 int numVars) {
+  return truthTable(g, a, numVars) == truthTable(g, b, numVars);
+}
+
+}  // namespace cbq::test

@@ -1,0 +1,227 @@
+// Structural unit tests for the AIG manager: literal encoding, folding
+// rules, structural hashing, two-level rewrites, traversal helpers.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "aig/aig.hpp"
+#include "aig/dot.hpp"
+
+namespace cbq {
+namespace {
+
+using aig::Aig;
+using aig::kFalse;
+using aig::kTrue;
+using aig::Lit;
+
+TEST(Lit, EncodingRoundTrip) {
+  const Lit l(5, true);
+  EXPECT_EQ(l.node(), 5u);
+  EXPECT_TRUE(l.negated());
+  EXPECT_EQ((!l).node(), 5u);
+  EXPECT_FALSE((!l).negated());
+  EXPECT_EQ(!!l, l);
+  EXPECT_EQ(l ^ false, l);
+  EXPECT_EQ(l ^ true, !l);
+  EXPECT_EQ(l.positive(), Lit(5, false));
+}
+
+TEST(Lit, Constants) {
+  EXPECT_TRUE(kFalse.isFalse());
+  EXPECT_TRUE(kTrue.isTrue());
+  EXPECT_TRUE(kFalse.isConstant());
+  EXPECT_TRUE(kTrue.isConstant());
+  EXPECT_EQ(!kFalse, kTrue);
+}
+
+TEST(Aig, FreshManagerHasOnlyConstant) {
+  Aig g;
+  EXPECT_EQ(g.numNodes(), 1u);
+  EXPECT_EQ(g.numPis(), 0u);
+  EXPECT_EQ(g.numAnds(), 0u);
+  EXPECT_TRUE(g.isConst(0));
+}
+
+TEST(Aig, PiIsIdempotentPerVar) {
+  Aig g;
+  const Lit a = g.pi(7);
+  const Lit b = g.pi(7);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(g.numPis(), 1u);
+  EXPECT_TRUE(g.hasPi(7));
+  EXPECT_FALSE(g.hasPi(8));
+  EXPECT_EQ(g.piVar(a.node()), 7u);
+  EXPECT_EQ(g.piNodeOf(7), a.node());
+}
+
+TEST(Aig, OneLevelFoldingRules) {
+  Aig g;
+  const Lit a = g.pi(0);
+  const Lit b = g.pi(1);
+  EXPECT_EQ(g.mkAnd(a, a), a);           // idempotence
+  EXPECT_EQ(g.mkAnd(a, !a), kFalse);     // contradiction
+  EXPECT_EQ(g.mkAnd(a, kTrue), a);       // identity
+  EXPECT_EQ(g.mkAnd(kTrue, a), a);
+  EXPECT_EQ(g.mkAnd(a, kFalse), kFalse); // annihilator
+  EXPECT_EQ(g.mkAnd(kFalse, b), kFalse);
+  EXPECT_EQ(g.numAnds(), 0u);            // no node was built
+}
+
+TEST(Aig, StructuralHashingCommutative) {
+  Aig g;
+  const Lit a = g.pi(0);
+  const Lit b = g.pi(1);
+  EXPECT_EQ(g.mkAnd(a, b), g.mkAnd(b, a));
+  EXPECT_EQ(g.mkAnd(!a, b), g.mkAnd(b, !a));
+  EXPECT_EQ(g.numAnds(), 2u);
+}
+
+TEST(Aig, TwoLevelAbsorption) {
+  Aig g;
+  const Lit a = g.pi(0);
+  const Lit b = g.pi(1);
+  const Lit ab = g.mkAnd(a, b);
+  EXPECT_EQ(g.mkAnd(ab, a), ab);       // (a&b)&a = a&b
+  EXPECT_EQ(g.mkAnd(ab, !a), kFalse);  // (a&b)&!a = 0
+  // OR absorption through De Morgan: a | (a&b) = a.
+  EXPECT_EQ(g.mkOr(a, ab), a);
+}
+
+TEST(Aig, TwoLevelSubstitution) {
+  Aig g;
+  const Lit a = g.pi(0);
+  const Lit b = g.pi(1);
+  const Lit ab = g.mkAnd(a, b);
+  // a & !(a&b) = a & !b.
+  EXPECT_EQ(g.mkAnd(a, !ab), g.mkAnd(a, !b));
+}
+
+TEST(Aig, TwoLevelSiblingContradiction) {
+  Aig g;
+  const Lit a = g.pi(0);
+  const Lit b = g.pi(1);
+  const Lit c = g.pi(2);
+  EXPECT_EQ(g.mkAnd(g.mkAnd(a, b), g.mkAnd(!a, c)), kFalse);
+}
+
+TEST(Aig, TwoLevelRulesCanBeDisabled) {
+  Aig g;
+  g.setTwoLevelRules(false);
+  const Lit a = g.pi(0);
+  const Lit b = g.pi(1);
+  const Lit ab = g.mkAnd(a, b);
+  const Lit r = g.mkAnd(a, !ab);  // no substitution rewrite: new node
+  EXPECT_TRUE(g.isAnd(r.node()));
+  EXPECT_EQ(g.fanin0(r.node()).positive() == a.positive() ||
+                g.fanin1(r.node()).positive() == a.positive(),
+            true);
+}
+
+TEST(Aig, XorXnorMuxShapes) {
+  Aig g;
+  const Lit a = g.pi(0);
+  const Lit b = g.pi(1);
+  EXPECT_EQ(g.mkXor(a, a), kFalse);
+  EXPECT_EQ(g.mkXor(a, !a), kTrue);
+  EXPECT_EQ(g.mkXnor(a, a), kTrue);
+  EXPECT_EQ(g.mkXor(a, kFalse), a);
+  EXPECT_EQ(g.mkXor(a, kTrue), !a);
+  EXPECT_EQ(g.mkMux(kTrue, a, b), a);
+  EXPECT_EQ(g.mkMux(kFalse, a, b), b);
+  EXPECT_EQ(g.mkMux(a, b, b), b);
+}
+
+TEST(Aig, AndAllOrAllEdgeCases) {
+  Aig g;
+  EXPECT_EQ(g.mkAndAll({}), kTrue);
+  EXPECT_EQ(g.mkOrAll({}), kFalse);
+  const Lit a = g.pi(0);
+  const Lit single[] = {a};
+  EXPECT_EQ(g.mkAndAll(single), a);
+  EXPECT_EQ(g.mkOrAll(single), a);
+}
+
+TEST(Aig, LevelsIncrease) {
+  Aig g;
+  const Lit a = g.pi(0);
+  const Lit b = g.pi(1);
+  EXPECT_EQ(g.level(a.node()), 0u);
+  const Lit ab = g.mkAnd(a, b);
+  EXPECT_EQ(g.level(ab.node()), 1u);
+  const Lit deep = g.mkAnd(ab, g.pi(2));
+  EXPECT_EQ(g.level(deep.node()), 2u);
+}
+
+TEST(Aig, ConeAndsTopologicalOrder) {
+  Aig g;
+  const Lit a = g.pi(0);
+  const Lit b = g.pi(1);
+  const Lit ab = g.mkAnd(a, b);
+  const Lit abc = g.mkAnd(ab, g.pi(2));
+  const Lit roots[] = {abc};
+  const auto order = g.coneAnds(roots);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], ab.node());
+  EXPECT_EQ(order[1], abc.node());
+}
+
+TEST(Aig, ConeSizeCountsSharedOnce) {
+  Aig g;
+  const Lit a = g.pi(0);
+  const Lit b = g.pi(1);
+  const Lit ab = g.mkAnd(a, b);
+  const Lit x = g.mkAnd(ab, g.pi(2));
+  const Lit y = g.mkAnd(ab, g.pi(3));
+  const Lit both[] = {x, y};
+  EXPECT_EQ(g.coneSize(both), 3u);  // ab shared
+  EXPECT_EQ(g.coneSize(x), 2u);
+}
+
+TEST(Aig, SupportVarsSorted) {
+  Aig g;
+  const Lit f = g.mkAnd(g.pi(9), g.mkOr(g.pi(2), g.pi(5)));
+  const auto s = g.supportVars(f);
+  EXPECT_EQ(s, (std::vector<aig::VarId>{2, 5, 9}));
+}
+
+TEST(Aig, DependsOn) {
+  Aig g;
+  const Lit f = g.mkAnd(g.pi(0), g.pi(1));
+  EXPECT_TRUE(g.dependsOn(f, 0));
+  EXPECT_TRUE(g.dependsOn(f, 1));
+  EXPECT_FALSE(g.dependsOn(f, 2));
+  EXPECT_FALSE(g.dependsOn(kTrue, 0));
+}
+
+TEST(AigDot, WritesWellFormedGraph) {
+  Aig g;
+  const Lit f = g.mkAnd(g.pi(3), !g.mkOr(g.pi(1), g.pi(2)));
+  std::ostringstream os;
+  const Lit roots[] = {f};
+  aig::writeDot(g, roots, os, "test");
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("digraph \"test\""), std::string::npos);
+  EXPECT_NE(dot.find("x3"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // complements
+  EXPECT_NE(dot.find("root 0"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(AigDot, ConstantRootStillValid) {
+  Aig g;
+  std::ostringstream os;
+  const Lit roots[] = {aig::kTrue};
+  aig::writeDot(g, roots, os);
+  EXPECT_NE(os.str().find("label=\"0\""), std::string::npos);
+}
+
+TEST(Aig, ConstantConesAreEmpty) {
+  Aig g;
+  EXPECT_EQ(g.coneSize(kTrue), 0u);
+  EXPECT_TRUE(g.supportVars(kFalse).empty());
+}
+
+}  // namespace
+}  // namespace cbq

@@ -1,0 +1,169 @@
+// Tseitin encoding and semantic-query tests: the CNF bridge must agree
+// with direct AIG evaluation under every forced input assignment, and the
+// budgeted verdict helpers must agree with exhaustive checking.
+
+#include <gtest/gtest.h>
+
+#include "cnf/aig_cnf.hpp"
+#include "helpers.hpp"
+#include "util/random.hpp"
+
+namespace cbq {
+namespace {
+
+using cnf::AigCnf;
+using cnf::Verdict;
+
+TEST(Cnf, ConstantLiterals) {
+  aig::Aig g;
+  sat::Solver s;
+  AigCnf cnf(g, s);
+  const sat::Lit t = cnf.litFor(aig::kTrue);
+  const sat::Lit f = cnf.litFor(aig::kFalse);
+  ASSERT_EQ(s.solve(), sat::Status::Sat);
+  EXPECT_TRUE(s.modelTrue(t));
+  EXPECT_FALSE(s.modelTrue(f));
+}
+
+TEST(Cnf, SingleAndGate) {
+  aig::Aig g;
+  const aig::Lit f = g.mkAnd(g.pi(0), g.pi(1));
+  sat::Solver s;
+  AigCnf cnf(g, s);
+  const sat::Lit lf = cnf.litFor(f);
+  const sat::Lit assume[] = {lf};
+  ASSERT_EQ(s.solve(assume), sat::Status::Sat);
+  EXPECT_TRUE(cnf.modelOf(0));
+  EXPECT_TRUE(cnf.modelOf(1));
+}
+
+TEST(Cnf, EncodedNodeCountMatchesCone) {
+  aig::Aig g;
+  const aig::Lit f = g.mkXor(g.pi(0), g.pi(1));  // 3 AND nodes
+  sat::Solver s;
+  AigCnf cnf(g, s);
+  cnf.litFor(f);
+  EXPECT_EQ(cnf.numEncodedNodes(), g.coneSize(f));
+  // Re-encoding is free.
+  cnf.litFor(f);
+  EXPECT_EQ(cnf.numEncodedNodes(), g.coneSize(f));
+}
+
+class CnfRandomized : public ::testing::TestWithParam<int> {};
+
+TEST_P(CnfRandomized, EncodingAgreesWithSimulation) {
+  util::Random rng(static_cast<std::uint64_t>(GetParam()) * 31 + 5);
+  aig::Aig g;
+  const aig::Lit f = test::randomFormula(g, rng, 5, 40);
+  sat::Solver s;
+  AigCnf cnf(g, s);
+  const sat::Lit lf = cnf.litFor(f);
+
+  // Force every input assignment through assumptions; the SAT value of
+  // the root must match direct evaluation.
+  for (std::uint64_t m = 0; m < 32; ++m) {
+    std::vector<sat::Lit> assume;
+    std::unordered_map<aig::VarId, bool> a;
+    for (aig::VarId v = 0; v < 5; ++v) {
+      const bool val = ((m >> v) & 1) != 0;
+      a.emplace(v, val);
+      if (g.dependsOn(f, v))
+        assume.push_back(cnf.litFor(aig::Lit(g.piNodeOf(v), false)) ^ !val);
+    }
+    const bool expect = g.evaluate(f, a);
+    assume.push_back(lf ^ !expect);  // assert root == expected
+    EXPECT_EQ(s.solve(assume), sat::Status::Sat) << "minterm " << m;
+    assume.back() = lf ^ expect;     // assert root != expected
+    EXPECT_EQ(s.solve(assume), sat::Status::Unsat) << "minterm " << m;
+  }
+}
+
+TEST_P(CnfRandomized, CheckEquivMatchesExhaustive) {
+  util::Random rng(static_cast<std::uint64_t>(GetParam()) * 77 + 3);
+  aig::Aig g;
+  const aig::Lit a = test::randomFormula(g, rng, 4, 25);
+  const aig::Lit b = test::randomFormula(g, rng, 4, 25);
+  sat::Solver s;
+  AigCnf cnf(g, s);
+  const bool equal = test::equivalentExhaustive(g, a, b, 4);
+  EXPECT_EQ(cnf::checkEquiv(cnf, a, b) == Verdict::Holds, equal);
+  // A function is always equivalent to itself and never to its negation
+  // (unless constant — randomFormula can produce constants).
+  EXPECT_EQ(cnf::checkEquiv(cnf, a, a), Verdict::Holds);
+}
+
+TEST_P(CnfRandomized, CheckImpliesMatchesExhaustive) {
+  util::Random rng(static_cast<std::uint64_t>(GetParam()) * 131 + 11);
+  aig::Aig g;
+  const aig::Lit a = test::randomFormula(g, rng, 4, 25);
+  const aig::Lit b = test::randomFormula(g, rng, 4, 25);
+  sat::Solver s;
+  AigCnf cnf(g, s);
+  const auto ta = test::truthTable(g, a, 4);
+  const auto tb = test::truthTable(g, b, 4);
+  bool implies = true;
+  for (std::size_t i = 0; i < ta.size(); ++i)
+    implies = implies && (!ta[i] || tb[i]);
+  EXPECT_EQ(cnf::checkImplies(cnf, a, b) == Verdict::Holds, implies);
+  // a -> a|b always holds.
+  EXPECT_EQ(cnf::checkImplies(cnf, a, g.mkOr(a, b)), Verdict::Holds);
+  // a&b -> a always holds.
+  EXPECT_EQ(cnf::checkImplies(cnf, g.mkAnd(a, b), a), Verdict::Holds);
+}
+
+TEST_P(CnfRandomized, CheckConstantAndSat) {
+  util::Random rng(static_cast<std::uint64_t>(GetParam()) * 173 + 7);
+  aig::Aig g;
+  const aig::Lit f = test::randomFormula(g, rng, 4, 25);
+  sat::Solver s;
+  AigCnf cnf(g, s);
+  const auto tt = test::truthTable(g, f, 4);
+  const bool alwaysTrue =
+      std::all_of(tt.begin(), tt.end(), [](bool x) { return x; });
+  const bool alwaysFalse =
+      std::none_of(tt.begin(), tt.end(), [](bool x) { return x; });
+  EXPECT_EQ(cnf::checkConstant(cnf, f, true) == Verdict::Holds, alwaysTrue);
+  EXPECT_EQ(cnf::checkConstant(cnf, f, false) == Verdict::Holds, alwaysFalse);
+  EXPECT_EQ(cnf::checkSat(cnf, f) == Verdict::Holds, !alwaysFalse);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CnfRandomized, ::testing::Range(0, 12));
+
+TEST(Cnf, BudgetedQueriesReturnUnknown) {
+  // Equivalence of two structurally different adder-ish cones with a
+  // 0-conflict budget must give Unknown, not a wrong verdict.
+  aig::Aig g;
+  util::Random rng(5);
+  const aig::Lit a = test::randomFormula(g, rng, 8, 120);
+  const aig::Lit b = test::randomFormula(g, rng, 8, 120);
+  sat::Solver s;
+  AigCnf cnf(g, s);
+  const Verdict v = cnf::checkEquiv(cnf, a, b, /*budget=*/0);
+  EXPECT_TRUE(v == Verdict::Unknown || v == Verdict::Fails ||
+              v == Verdict::Holds);
+  // With budget 0 the solver can only answer via propagation; for these
+  // cones that means Unknown in practice — but never a contradiction
+  // with the exhaustive referee:
+  if (v != Verdict::Unknown) {
+    EXPECT_EQ(v == Verdict::Holds, test::equivalentExhaustive(g, a, b, 8));
+  }
+}
+
+TEST(Cnf, ModelPatternEmbedsCounterexampleInBitZero) {
+  aig::Aig g;
+  const aig::Lit f = g.mkAnd(g.pi(0), !g.pi(1));
+  sat::Solver s;
+  AigCnf cnf(g, s);
+  const sat::Lit assume[] = {cnf.litFor(f)};
+  ASSERT_EQ(s.solve(assume), sat::Status::Sat);
+  util::Random rng(1);
+  const aig::VarId vars[] = {0, 1};
+  const auto pattern = cnf.modelPattern(
+      vars, [](void* ctx) { return static_cast<util::Random*>(ctx)->next64(); },
+      &rng);
+  EXPECT_EQ(pattern.at(0) & 1, 1u);
+  EXPECT_EQ(pattern.at(1) & 1, 0u);
+}
+
+}  // namespace
+}  // namespace cbq

@@ -1,0 +1,240 @@
+// Circuit file I/O tests: AIGER / .bench round trips must preserve
+// behaviour (verdicts and step-by-step simulation), and malformed inputs
+// must be rejected with ParseError.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "circuits/io.hpp"
+#include "circuits/suite.hpp"
+#include "mc/engines.hpp"
+#include "util/random.hpp"
+
+namespace cbq {
+namespace {
+
+using circuits::ParseError;
+using circuits::readAag;
+using circuits::readBench;
+using circuits::writeAag;
+using circuits::writeBench;
+using mc::Network;
+
+/// Behavioural equivalence by random co-simulation: both networks are
+/// driven with the same input sequences; bad must match at every step.
+void expectSameBehaviour(const Network& a, const Network& b,
+                         std::uint64_t seed) {
+  ASSERT_EQ(a.numLatches(), b.numLatches());
+  ASSERT_EQ(a.numInputs(), b.numInputs());
+  util::Random rng(seed);
+  for (int run = 0; run < 8; ++run) {
+    mc::Trace trace;
+    for (int t = 0; t < 12; ++t) {
+      std::unordered_map<aig::VarId, bool> inA;
+      for (const aig::VarId v : a.inputVars) inA.emplace(v, rng.flip());
+      trace.inputs.push_back(inA);
+    }
+    // Map trace input order from a's vars to b's vars positionally.
+    mc::Trace traceB;
+    for (const auto& stepA : trace.inputs) {
+      std::unordered_map<aig::VarId, bool> stepB;
+      for (std::size_t i = 0; i < a.inputVars.size(); ++i)
+        stepB.emplace(b.inputVars[i], stepA.at(a.inputVars[i]));
+      traceB.inputs.push_back(stepB);
+    }
+    for (std::size_t len = 1; len <= trace.inputs.size(); ++len) {
+      mc::Trace ta;
+      mc::Trace tb;
+      ta.inputs.assign(trace.inputs.begin(),
+                       trace.inputs.begin() + static_cast<std::ptrdiff_t>(len));
+      tb.inputs.assign(traceB.inputs.begin(),
+                       traceB.inputs.begin() + static_cast<std::ptrdiff_t>(len));
+      ASSERT_EQ(mc::replayHitsBad(a, ta), mc::replayHitsBad(b, tb))
+          << "run " << run << " len " << len;
+    }
+  }
+}
+
+class IoRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(IoRoundTrip, AagPreservesBehaviour) {
+  auto suite = circuits::standardSuite();
+  ASSERT_LT(GetParam(), suite.size());
+  const Network& net = suite[GetParam()].net;
+  std::stringstream ss;
+  writeAag(net, ss);
+  const Network back = readAag(ss, net.name + "-rt");
+  expectSameBehaviour(net, back, 1000 + GetParam());
+}
+
+TEST_P(IoRoundTrip, BenchPreservesBehaviour) {
+  auto suite = circuits::standardSuite();
+  ASSERT_LT(GetParam(), suite.size());
+  const Network& net = suite[GetParam()].net;
+  std::stringstream ss;
+  writeBench(net, ss);
+  const Network back = readBench(ss, net.name + "-rt");
+  expectSameBehaviour(net, back, 2000 + GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(SuiteInstances, IoRoundTrip,
+                         ::testing::Range<std::size_t>(0, 32));
+
+TEST_P(IoRoundTrip, AigBinaryPreservesBehaviour) {
+  auto suite = circuits::standardSuite();
+  ASSERT_LT(GetParam(), suite.size());
+  const Network& net = suite[GetParam()].net;
+  std::stringstream ss;
+  circuits::writeAigBinary(net, ss);
+  const Network back = circuits::readAigBinary(ss, net.name + "-bin");
+  expectSameBehaviour(net, back, 3000 + GetParam());
+}
+
+TEST(Io, AigBinaryDeltaEncodingRoundTrip) {
+  // A wide circuit forces multi-byte varint deltas.
+  const auto inst = circuits::makeInstance("gray", 8, true);
+  std::stringstream ss;
+  circuits::writeAigBinary(inst.net, ss);
+  const Network back = circuits::readAigBinary(ss);
+  EXPECT_EQ(back.numLatches(), inst.net.numLatches());
+  EXPECT_EQ(back.numInputs(), inst.net.numInputs());
+  mc::CircuitQuantReach engine;
+  EXPECT_EQ(engine.check(back).verdict, mc::Verdict::Safe);
+}
+
+TEST(Io, AigBinaryRejectsGarbage) {
+  {
+    std::stringstream ss("aig 3 1 1 1 2\n");  // M != I+L+A
+    EXPECT_THROW(circuits::readAigBinary(ss), ParseError);
+  }
+  {
+    std::stringstream ss("aag 1 1 0 0 0\n");  // wrong magic for binary
+    EXPECT_THROW(circuits::readAigBinary(ss), ParseError);
+  }
+  {
+    // Header promises one AND gate but the byte stream ends.
+    std::stringstream ss("aig 2 1 0 1 1\n4\n");
+    EXPECT_THROW(circuits::readAigBinary(ss), ParseError);
+  }
+}
+
+TEST(Io, AagRoundTripPreservesVerdict) {
+  for (const bool safe : {true, false}) {
+    const auto inst = circuits::makeInstance("ring", 4, safe);
+    std::stringstream ss;
+    writeAag(inst.net, ss);
+    const Network back = readAag(ss);
+    mc::CircuitQuantReach engine;
+    EXPECT_EQ(engine.check(back).verdict, inst.expected);
+  }
+}
+
+TEST(Io, BenchRoundTripPreservesVerdictWithInitOne) {
+  // The token ring has an init-1 latch — exercises the `# init` extension.
+  for (const bool safe : {true, false}) {
+    const auto inst = circuits::makeInstance("ring", 4, safe);
+    std::stringstream ss;
+    writeBench(inst.net, ss);
+    EXPECT_NE(ss.str().find("# init l0 = 1"), std::string::npos);
+    const Network back = readBench(ss);
+    mc::Bmc engine;
+    const auto expected = inst.expected == mc::Verdict::Unsafe
+                              ? mc::Verdict::Unsafe
+                              : mc::Verdict::Unknown;  // BMC can't prove safe
+    EXPECT_EQ(engine.check(back).verdict, expected);
+  }
+}
+
+TEST(Io, HandWrittenAag) {
+  // A 1-latch toggle: latch next = !latch, output = latch.
+  std::stringstream ss("aag 1 0 1 1 0\n2 3\n2\n");
+  const Network net = readAag(ss);
+  EXPECT_EQ(net.numLatches(), 1u);
+  EXPECT_EQ(net.numInputs(), 0u);
+  // bad = latch, init 0: safe at step 1, bad at step 2.
+  mc::Trace t;
+  t.inputs.resize(1);
+  EXPECT_FALSE(mc::replayHitsBad(net, t));
+  t.inputs.resize(2);
+  EXPECT_TRUE(mc::replayHitsBad(net, t));
+}
+
+TEST(Io, HandWrittenBench) {
+  std::stringstream ss(R"(# toy
+INPUT(a)
+INPUT(b)
+OUTPUT(o)
+x = AND(a, b)
+y = NOT(x)
+q = DFF(y)
+o = AND(q, a)
+)");
+  const Network net = readBench(ss);
+  EXPECT_EQ(net.numInputs(), 2u);
+  EXPECT_EQ(net.numLatches(), 1u);
+  EXPECT_FALSE(net.bad.isConstant());
+}
+
+TEST(Io, BenchGateZoo) {
+  std::stringstream ss(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(o)
+g1 = NAND(a, b)
+g2 = NOR(a, b)
+g3 = XOR(a, b)
+g4 = XNOR(a, b)
+g5 = BUF(g3)
+g6 = OR(g1, g2, g4)
+o = AND(g5, g6)
+)");
+  const Network net = readBench(ss);
+  // o = (a^b) & (nand | nor | xnor) = (a^b) & 1 = a^b.
+  std::unordered_map<aig::VarId, bool> a01{{net.inputVars[0], false},
+                                           {net.inputVars[1], true}};
+  EXPECT_TRUE(net.aig.evaluate(net.bad, a01));
+  std::unordered_map<aig::VarId, bool> a11{{net.inputVars[0], true},
+                                           {net.inputVars[1], true}};
+  EXPECT_FALSE(net.aig.evaluate(net.bad, a11));
+}
+
+TEST(Io, BenchOutOfOrderDefinitionsResolve) {
+  std::stringstream ss(R"(
+INPUT(a)
+OUTPUT(o)
+o = AND(x, a)
+x = NOT(a)
+)");
+  const Network net = readBench(ss);
+  EXPECT_TRUE(net.bad.isConstant());  // a & !a folds to 0
+}
+
+TEST(Io, ParseErrors) {
+  {
+    std::stringstream ss("aig 1 0 0 0 0\n");
+    EXPECT_THROW(readAag(ss), ParseError);
+  }
+  {
+    std::stringstream ss("aag 1 1 0 0 0\n3\n");  // odd input literal
+    EXPECT_THROW(readAag(ss), ParseError);
+  }
+  {
+    std::stringstream ss("INPUT(a)\nOUTPUT(o)\no = FROB(a)\n");
+    EXPECT_THROW(readBench(ss), ParseError);
+  }
+  {
+    std::stringstream ss("OUTPUT(o)\no = AND(o, o)\n");  // cyclic
+    EXPECT_THROW(readBench(ss), ParseError);
+  }
+  {
+    std::stringstream ss("INPUT(a)\nOUTPUT(missing)\n");
+    EXPECT_THROW(readBench(ss), ParseError);
+  }
+  EXPECT_THROW(circuits::readCircuitFile("/nonexistent/file.aag"),
+               ParseError);
+  EXPECT_THROW(circuits::readCircuitFile("/tmp/whatever.xyz"), ParseError);
+}
+
+}  // namespace
+}  // namespace cbq

@@ -1,0 +1,166 @@
+// Unit tests for the util module: RNG determinism, timers, stats, tables.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "util/random.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace cbq {
+namespace {
+
+TEST(Random, SameSeedSameStream) {
+  util::Random a(42);
+  util::Random b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Random, DifferentSeedsDiverge) {
+  util::Random a(1);
+  util::Random b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next64() == b.next64()) ++equal;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Random, ReseedRestartsStream) {
+  util::Random a(7);
+  const auto x = a.next64();
+  a.next64();
+  a.reseed(7);
+  EXPECT_EQ(a.next64(), x);
+}
+
+TEST(Random, BelowStaysInRange) {
+  util::Random r(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Random, RangeInclusive) {
+  util::Random r(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all 7 values hit
+}
+
+TEST(Random, UnitInHalfOpenInterval) {
+  util::Random r(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Random, ChanceExtremes) {
+  util::Random r(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(r.chance(10, 10));
+    EXPECT_FALSE(r.chance(0, 10));
+  }
+}
+
+TEST(Random, FlipIsRoughlyFair) {
+  util::Random r(17);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += r.flip() ? 1 : 0;
+  EXPECT_GT(heads, 4500);
+  EXPECT_LT(heads, 5500);
+}
+
+TEST(Timer, MonotonicNonNegative) {
+  util::Timer t;
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(Timer, RestartResets) {
+  util::Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const double before = t.seconds();
+  t.restart();
+  EXPECT_LT(t.seconds(), before);
+}
+
+TEST(Deadline, UnlimitedNeverExpires) {
+  util::Deadline d;
+  EXPECT_FALSE(d.expired());
+}
+
+TEST(Deadline, TinyBudgetExpires) {
+  util::Deadline d(1e-9);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(d.expired());
+}
+
+TEST(Stats, CountersAccumulate) {
+  util::Stats s;
+  EXPECT_EQ(s.count("x"), 0);
+  s.add("x");
+  s.add("x", 4);
+  EXPECT_EQ(s.count("x"), 5);
+}
+
+TEST(Stats, GaugesSetAndHigh) {
+  util::Stats s;
+  s.set("g", 2.0);
+  EXPECT_DOUBLE_EQ(s.gauge("g"), 2.0);
+  s.high("g", 1.0);
+  EXPECT_DOUBLE_EQ(s.gauge("g"), 2.0);  // high keeps max
+  s.high("g", 3.5);
+  EXPECT_DOUBLE_EQ(s.gauge("g"), 3.5);
+}
+
+TEST(Stats, MergeAddsCountersMaxesGauges) {
+  util::Stats a;
+  util::Stats b;
+  a.add("c", 2);
+  b.add("c", 3);
+  a.high("g", 1.0);
+  b.high("g", 5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count("c"), 5);
+  EXPECT_DOUBLE_EQ(a.gauge("g"), 5.0);
+}
+
+TEST(Stats, ClearEmpties) {
+  util::Stats s;
+  s.add("c");
+  s.set("g", 1.0);
+  s.clear();
+  EXPECT_EQ(s.count("c"), 0);
+  EXPECT_DOUBLE_EQ(s.gauge("g"), 0.0);
+}
+
+TEST(Table, AlignsAndPads) {
+  util::Table t({"name", "value"});
+  t.addRow({"a", "1"});
+  t.addRow({"long-name"});  // short row padded
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  EXPECT_NE(s.find('+'), std::string::npos);
+}
+
+TEST(Table, NumFormatsFixed) {
+  EXPECT_EQ(util::Table::num(1.234, 2), "1.23");
+  EXPECT_EQ(util::Table::num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace cbq
