@@ -3,8 +3,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "aig/aig.hpp"
 #include "util/random.hpp"
+#include "util/var_table.hpp"
 
 namespace {
 
@@ -51,7 +54,7 @@ void BM_Compose(benchmark::State& state) {
   cbq::util::Random rng(13);
   const Lit f = buildRandomCone(g, rng, 16, static_cast<int>(state.range(0)));
   const Lit sub = buildRandomCone(g, rng, 16, 64);
-  const std::unordered_map<VarId, Lit> map{{3, sub}, {7, !sub}};
+  const std::vector<cbq::aig::VarSub> map{{3, sub}, {7, !sub}};
   for (auto _ : state) benchmark::DoNotOptimize(g.compose(f, map));
 }
 BENCHMARK(BM_Compose)->Arg(1000)->Arg(10000);
@@ -60,8 +63,8 @@ void BM_Simulate64(benchmark::State& state) {
   Aig g;
   cbq::util::Random rng(17);
   const Lit f = buildRandomCone(g, rng, 16, static_cast<int>(state.range(0)));
-  std::unordered_map<VarId, std::uint64_t> words;
-  for (VarId v = 0; v < 16; ++v) words.emplace(v, rng.next64());
+  cbq::util::VarTable<std::uint64_t> words;
+  for (VarId v = 0; v < 16; ++v) words.set(v, rng.next64());
   const Lit roots[] = {f};
   for (auto _ : state) benchmark::DoNotOptimize(g.simulate(roots, words));
   state.SetItemsProcessed(state.iterations() * state.range(0) * 64);

@@ -1,0 +1,114 @@
+// Micro-benchmarks isolating the cone-rebuild memo layer: compose,
+// cofactor, node-map rebuild and cross-manager transfer throughput.
+// These are the paths a reachability iteration hammers thousands of
+// times (pre-image substitution, Shannon cofactors, merge commits,
+// compaction), so future changes to the ScratchMemo / strash layer can
+// be regression-tested here directly without driving a full engine.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "aig/scratch.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using cbq::aig::Aig;
+using cbq::aig::Lit;
+using cbq::aig::VarId;
+using cbq::aig::VarSub;
+
+constexpr int kVars = 24;
+
+Lit buildRandomCone(Aig& g, cbq::util::Random& rng, int vars, int ops) {
+  std::vector<Lit> pool;
+  for (int v = 0; v < vars; ++v) pool.push_back(g.pi(static_cast<VarId>(v)));
+  for (int i = 0; i < ops; ++i) {
+    const Lit a = pool[rng.below(pool.size())] ^ rng.flip();
+    const Lit b = pool[rng.below(pool.size())] ^ rng.flip();
+    pool.push_back(rng.flip() ? g.mkAnd(a, b) : g.mkXor(a, b));
+  }
+  return pool.back();
+}
+
+/// compose() with a wide substitution map — the pre-image shape where
+/// every state variable maps to a next-state cone at once.
+void BM_ComposeWide(benchmark::State& state) {
+  Aig g;
+  cbq::util::Random rng(29);
+  const Lit f = buildRandomCone(g, rng, kVars, static_cast<int>(state.range(0)));
+  std::vector<VarSub> map;
+  for (VarId v = 0; v < kVars / 2; ++v)
+    map.emplace_back(v, buildRandomCone(g, rng, kVars, 24) ^ (v % 2 != 0));
+  for (auto _ : state) benchmark::DoNotOptimize(g.compose(f, map));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ComposeWide)->Arg(1000)->Arg(10000);
+
+/// Alternating positive/negative cofactors — the Shannon-expansion inner
+/// loop of quantifyVar.
+void BM_CofactorPair(benchmark::State& state) {
+  Aig g;
+  cbq::util::Random rng(31);
+  const Lit f = buildRandomCone(g, rng, kVars, static_cast<int>(state.range(0)));
+  VarId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.cofactor(f, v, false));
+    benchmark::DoNotOptimize(g.cofactor(f, v, true));
+    v = (v + 1) % kVars;
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_CofactorPair)->Arg(1000)->Arg(10000);
+
+/// rebuildWithNodeMap with an empty map: pure memo-walk + re-hash, the
+/// rewrite() fast path.
+void BM_RebuildIdentity(benchmark::State& state) {
+  Aig g;
+  cbq::util::Random rng(37);
+  const Lit f = buildRandomCone(g, rng, kVars, static_cast<int>(state.range(0)));
+  const Lit roots[] = {f};
+  const cbq::aig::NodeMap empty;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(g.rebuildWithNodeMap(roots, empty));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RebuildIdentity)->Arg(1000)->Arg(10000);
+
+/// rebuildWithNodeMap with a sprinkling of constant merges — the sweeping
+/// engine's commit step.
+void BM_RebuildWithMerges(benchmark::State& state) {
+  Aig g;
+  cbq::util::Random rng(41);
+  const Lit f = buildRandomCone(g, rng, kVars, static_cast<int>(state.range(0)));
+  const Lit roots[] = {f};
+  const auto order = g.coneAnds(roots);
+  cbq::aig::NodeMap map;
+  for (std::size_t i = 0; i < order.size(); i += 16)
+    map.set(order[i], rng.flip() ? cbq::aig::kTrue : cbq::aig::kFalse);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(g.rebuildWithNodeMap(roots, map));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RebuildWithMerges)->Arg(1000)->Arg(10000);
+
+/// Cross-manager transfer into a fresh manager — the compaction step of
+/// compactEachIteration reachability.
+void BM_TransferFresh(benchmark::State& state) {
+  Aig g;
+  cbq::util::Random rng(43);
+  const Lit f = buildRandomCone(g, rng, kVars, static_cast<int>(state.range(0)));
+  const Lit roots[] = {f};
+  for (auto _ : state) {
+    Aig fresh;
+    benchmark::DoNotOptimize(fresh.transferFrom(g, roots));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TransferFresh)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

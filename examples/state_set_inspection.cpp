@@ -29,9 +29,9 @@ int main(int argc, char** argv) {
   std::vector<aig::Lit> roots(net.next.begin(), net.next.end());
   roots.push_back(net.bad);
   const auto moved = mgr.transferFrom(net.aig, roots);
-  std::unordered_map<aig::VarId, aig::Lit> subst;
+  std::vector<aig::VarSub> subst;
   for (std::size_t i = 0; i < net.stateVars.size(); ++i)
-    subst.emplace(net.stateVars[i], moved[i]);
+    subst.emplace_back(net.stateVars[i], moved[i]);
   const aig::Lit pre = mgr.compose(moved.back(), subst);
   const aig::VarId enable = net.inputVars[0];
 

@@ -8,11 +8,6 @@ namespace cbq::aig {
 
 namespace {
 
-/// Packs an ordered fanin pair into a structural-hash key.
-std::uint64_t strashKey(Lit a, Lit b) {
-  return (static_cast<std::uint64_t>(a.raw()) << 32) | b.raw();
-}
-
 /// All-ones / all-zero mask for complemented simulation words.
 std::uint64_t negMask(bool negated) {
   return negated ? ~std::uint64_t{0} : std::uint64_t{0};
@@ -34,11 +29,12 @@ NodeId Aig::newNode(Lit f0, Lit f1, std::uint32_t level) {
 }
 
 Lit Aig::pi(VarId var) {
-  auto it = piByVar_.find(var);
-  if (it != piByVar_.end()) return Lit(it->second, false);
+  if (var < piByVar_.size() && piByVar_[var] != 0)
+    return Lit(piByVar_[var], false);
   const NodeId id = newNode(kPiMark, Lit::fromRaw(var), 0);
   pis_.push_back(id);
-  piByVar_.emplace(var, id);
+  if (var >= piByVar_.size()) piByVar_.resize(var + 1, 0);
+  piByVar_[var] = id;
   return Lit(id, false);
 }
 
@@ -51,14 +47,13 @@ Lit Aig::mkAndRaw(Lit a, Lit b) {
   if (a.isFalse() || b.isFalse()) return kFalse;
 
   if (b.raw() < a.raw()) std::swap(a, b);
-  const std::uint64_t key = strashKey(a, b);
-  if (auto it = strash_.find(key); it != strash_.end())
-    return Lit(it->second, false);
+  if (const NodeId hit = strash_.find(a, b); hit != 0)
+    return Lit(hit, false);
 
   const std::uint32_t lvl =
       1 + std::max(nodes_[a.node()].level, nodes_[b.node()].level);
   const NodeId id = newNode(a, b, lvl);
-  strash_.emplace(key, id);
+  strash_.insert(a, b, id);
   return Lit(id, false);
 }
 
@@ -247,9 +242,10 @@ bool Aig::dependsOn(Lit root, VarId var) const {
 
 template <typename LeafFn>
 std::vector<Lit> Aig::rebuild(std::span<const Lit> roots, LeafFn&& leaf,
-                              const std::unordered_map<NodeId, Lit>* nodeMap) {
-  std::unordered_map<NodeId, Lit> memo;
-  memo.reserve(roots.size() * 8);
+                              const NodeMap* nodeMap) {
+  // All memo keys are node ids that exist on entry; mkAnd growing nodes_
+  // during the walk never needs a memo slot for the new nodes.
+  memo_.reset(nodes_.size());
 
   enum class Action : std::uint8_t { Visit, Combine, Alias };
   struct Frame {
@@ -259,7 +255,7 @@ std::vector<Lit> Aig::rebuild(std::span<const Lit> roots, LeafFn&& leaf,
   };
   std::vector<Frame> stack;
 
-  auto resultOf = [&](Lit l) { return memo.at(l.node()) ^ l.negated(); };
+  auto resultOf = [&](Lit l) { return memo_.at(l.node()) ^ l.negated(); };
 
   for (Lit root : roots) stack.push_back({root.node(), Action::Visit, kFalse});
   while (!stack.empty()) {
@@ -268,20 +264,19 @@ std::vector<Lit> Aig::rebuild(std::span<const Lit> roots, LeafFn&& leaf,
     const NodeId n = fr.node;
     switch (fr.action) {
       case Action::Visit: {
-        if (memo.contains(n)) break;
-        if (nodeMap != nullptr) {
-          if (auto it = nodeMap->find(n); it != nodeMap->end()) {
-            // Replacement chains are chased through the map; callers must
-            // supply acyclic maps (merge maps always point "backwards").
-            stack.push_back({n, Action::Alias, it->second});
-            stack.push_back({it->second.node(), Action::Visit, kFalse});
-            break;
-          }
+        if (memo_.contains(n)) break;
+        if (nodeMap != nullptr && nodeMap->contains(n)) {
+          // Replacement chains are chased through the map; callers must
+          // supply acyclic maps (merge maps always point "backwards").
+          const Lit alias = nodeMap->at(n);
+          stack.push_back({n, Action::Alias, alias});
+          stack.push_back({alias.node(), Action::Visit, kFalse});
+          break;
         }
         if (isConst(n)) {
-          memo.emplace(n, kFalse);
+          memo_.put(n, kFalse);
         } else if (isPi(n)) {
-          memo.emplace(n, leaf(piVar(n)));
+          memo_.put(n, leaf(piVar(n)));
         } else {
           // Copy fanins now: mkAnd during Combine may grow nodes_.
           const Lit f0 = fanin0(n);
@@ -295,11 +290,11 @@ std::vector<Lit> Aig::rebuild(std::span<const Lit> roots, LeafFn&& leaf,
       case Action::Combine: {
         const Lit f0 = fanin0(n);
         const Lit f1 = fanin1(n);
-        memo.emplace(n, mkAnd(resultOf(f0), resultOf(f1)));
+        memo_.put(n, mkAnd(resultOf(f0), resultOf(f1)));
         break;
       }
       case Action::Alias: {
-        memo.emplace(n, resultOf(fr.aliasLit));
+        memo_.put(n, resultOf(fr.aliasLit));
         break;
       }
     }
@@ -320,53 +315,49 @@ Lit Aig::cofactor(Lit f, VarId var, bool value) {
   return res.front();
 }
 
-Lit Aig::compose(Lit f, const std::unordered_map<VarId, Lit>& map) {
+Lit Aig::compose(Lit f, std::span<const VarSub> map) {
+  substScratch_.clear();
+  for (const auto& [v, l] : map) substScratch_.set(v, l);
   const Lit roots[] = {f};
   auto res = rebuild(
       roots,
       [&](VarId v) {
-        auto it = map.find(v);
-        return it == map.end() ? pi(v) : it->second;
+        return substScratch_.contains(v) ? substScratch_.at(v) : pi(v);
       },
       nullptr);
   return res.front();
 }
 
-std::vector<Lit> Aig::rebuildWithNodeMap(
-    std::span<const Lit> roots,
-    const std::unordered_map<NodeId, Lit>& nodeMap) {
+std::vector<Lit> Aig::rebuildWithNodeMap(std::span<const Lit> roots,
+                                         const NodeMap& nodeMap) {
   return rebuild(roots, [&](VarId v) { return pi(v); }, &nodeMap);
 }
 
 std::vector<std::uint64_t> Aig::simulate(
     std::span<const Lit> roots,
-    const std::unordered_map<VarId, std::uint64_t>& piWords) const {
+    const util::VarTable<std::uint64_t>& piWords) const {
   const auto order = coneAnds(roots);
-  std::vector<std::uint64_t> val(nodes_.size(), 0);
+  simVal_.assign(nodes_.size(), 0);
   // PI values: only PIs inside the cones matter, but filling all registered
   // PIs is simpler and still linear.
-  for (const NodeId p : pis_) {
-    auto it = piWords.find(piVar(p));
-    val[p] = it == piWords.end() ? 0 : it->second;
-  }
+  for (const NodeId p : pis_) simVal_[p] = piWords.get(piVar(p), 0);
   for (const NodeId n : order) {
     const Lit f0 = fanin0(n);
     const Lit f1 = fanin1(n);
-    val[n] = (val[f0.node()] ^ negMask(f0.negated())) &
-             (val[f1.node()] ^ negMask(f1.negated()));
+    simVal_[n] = (simVal_[f0.node()] ^ negMask(f0.negated())) &
+                 (simVal_[f1.node()] ^ negMask(f1.negated()));
   }
   std::vector<std::uint64_t> out;
   out.reserve(roots.size());
   for (Lit r : roots)
-    out.push_back(val[r.node()] ^ negMask(r.negated()));
+    out.push_back(simVal_[r.node()] ^ negMask(r.negated()));
   return out;
 }
 
 bool Aig::evaluate(Lit root,
                    const std::unordered_map<VarId, bool>& assignment) const {
-  std::unordered_map<VarId, std::uint64_t> words;
-  words.reserve(assignment.size());
-  for (const auto& [v, b] : assignment) words.emplace(v, negMask(b));
+  util::VarTable<std::uint64_t> words;
+  for (const auto& [v, b] : assignment) words.set(v, negMask(b));
   const Lit roots[] = {root};
   return (simulate(roots, words).front() & 1u) != 0;
 }
@@ -374,28 +365,28 @@ bool Aig::evaluate(Lit root,
 std::vector<Lit> Aig::transferFrom(const Aig& src,
                                    std::span<const Lit> roots) {
   if (&src == this) return {roots.begin(), roots.end()};
-  std::unordered_map<NodeId, Lit> memo;  // src node -> lit in *this*
+  memo_.reset(src.nodes_.size());  // keyed by src node ids
 
   struct Frame {
     NodeId node;
     bool expand;
   };
   std::vector<Frame> stack;
-  auto resultOf = [&](Lit l) { return memo.at(l.node()) ^ l.negated(); };
+  auto resultOf = [&](Lit l) { return memo_.at(l.node()) ^ l.negated(); };
 
   for (Lit root : roots) stack.push_back({root.node(), false});
   while (!stack.empty()) {
     auto [n, expand] = stack.back();
     stack.pop_back();
     if (expand) {
-      memo.emplace(n, mkAnd(resultOf(src.fanin0(n)), resultOf(src.fanin1(n))));
+      memo_.put(n, mkAnd(resultOf(src.fanin0(n)), resultOf(src.fanin1(n))));
       continue;
     }
-    if (memo.contains(n)) continue;
+    if (memo_.contains(n)) continue;
     if (src.isConst(n)) {
-      memo.emplace(n, kFalse);
+      memo_.put(n, kFalse);
     } else if (src.isPi(n)) {
-      memo.emplace(n, pi(src.piVar(n)));
+      memo_.put(n, pi(src.piVar(n)));
     } else {
       stack.push_back({n, true});
       stack.push_back({src.fanin0(n).node(), false});

@@ -14,14 +14,24 @@
 // same variable keeps its identity across managers; this is what makes
 // moving state-set cones between managers (for compaction) and composing
 // next-state functions into state sets straightforward.
+//
+// Every hot path is arena-style dense: the structural hash is a flat
+// open-addressed table (strash.hpp), cone rebuilds reuse one
+// epoch-stamped memo owned by the manager (scratch.hpp), and per-variable
+// lookups go through flat VarId-indexed slot tables (util/var_table.hpp).
 
 #include <cstdint>
+#include <initializer_list>
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "aig/lit.hpp"
+#include "aig/scratch.hpp"
+#include "aig/strash.hpp"
+#include "util/var_table.hpp"
 
 namespace cbq::aig {
 
@@ -29,6 +39,9 @@ namespace cbq::aig {
 /// managers. Model checking assigns state variables and circuit inputs
 /// distinct varIds.
 using VarId = std::uint32_t;
+
+/// One (variable := literal) substitution entry for compose().
+using VarSub = std::pair<VarId, Lit>;
 
 /// One AIG node. AND nodes store two fanin literals; primary inputs store
 /// their varId; node 0 is the constant-FALSE node.
@@ -55,13 +68,11 @@ class Aig {
 
   /// True when a PI node for `var` already exists.
   [[nodiscard]] bool hasPi(VarId var) const {
-    return piByVar_.contains(var);
+    return var < piByVar_.size() && piByVar_[var] != 0;
   }
 
   /// Node id of the PI for `var`. Precondition: hasPi(var).
-  [[nodiscard]] NodeId piNodeOf(VarId var) const {
-    return piByVar_.at(var);
-  }
+  [[nodiscard]] NodeId piNodeOf(VarId var) const { return piByVar_[var]; }
 
   /// AND with structural hashing and simplification rules.
   Lit mkAnd(Lit a, Lit b);
@@ -114,6 +125,12 @@ class Aig {
   /// All PI node ids in creation order.
   [[nodiscard]] const std::vector<NodeId>& pis() const { return pis_; }
 
+  /// Current capacity of the structural-hash table (dense-layer metric;
+  /// grows by doubling past the initial 1024 slots).
+  [[nodiscard]] std::size_t strashCapacity() const {
+    return strash_.capacity();
+  }
+
   // ----- traversal ----------------------------------------------------
 
   /// AND nodes in the transitive fanin of `roots`, in topological order
@@ -142,16 +159,19 @@ class Aig {
 
   /// Simultaneous substitution of literals for variables (quantification
   /// by substitution / "in-lining" from §3 of the paper). Variables not in
-  /// `map` are left untouched.
-  Lit compose(Lit f, const std::unordered_map<VarId, Lit>& map);
+  /// `map` are left untouched; a variable listed twice takes its last
+  /// entry.
+  Lit compose(Lit f, std::span<const VarSub> map);
+  Lit compose(Lit f, std::initializer_list<VarSub> map) {
+    return compose(f, std::span<const VarSub>(map.begin(), map.size()));
+  }
 
   /// Rebuilds the cones of `roots` replacing whole internal nodes:
   /// whenever a node id appears in `nodeMap`, the mapped literal is used
   /// instead of the node (complement composed through). This is how the
   /// sweeping and don't-care engines commit merges.
-  std::vector<Lit> rebuildWithNodeMap(
-      std::span<const Lit> roots,
-      const std::unordered_map<NodeId, Lit>& nodeMap);
+  std::vector<Lit> rebuildWithNodeMap(std::span<const Lit> roots,
+                                      const NodeMap& nodeMap);
 
   // ----- simulation -----------------------------------------------------
 
@@ -160,7 +180,7 @@ class Aig {
   /// Returns one 64-bit word per root.
   [[nodiscard]] std::vector<std::uint64_t> simulate(
       std::span<const Lit> roots,
-      const std::unordered_map<VarId, std::uint64_t>& piWords) const;
+      const util::VarTable<std::uint64_t>& piWords) const;
 
   /// Single-pattern evaluation under a complete assignment.
   [[nodiscard]] bool evaluate(
@@ -182,10 +202,11 @@ class Aig {
 
   /// Generic iterative cone rebuild. `leaf(var)` supplies the literal that
   /// replaces the PI with external id `var`; `nodeMap` (optional) replaces
-  /// whole nodes before their fanins are visited.
+  /// whole nodes before their fanins are visited. The memo lives in
+  /// memo_ — rebuilds must not nest.
   template <typename LeafFn>
   std::vector<Lit> rebuild(std::span<const Lit> roots, LeafFn&& leaf,
-                           const std::unordered_map<NodeId, Lit>* nodeMap);
+                           const NodeMap* nodeMap);
 
   // Epoch-stamped visited marks (avoid O(n) clears per traversal).
   void bumpEpoch() const;
@@ -194,9 +215,13 @@ class Aig {
 
   std::vector<Node> nodes_;
   std::vector<NodeId> pis_;
-  std::unordered_map<VarId, NodeId> piByVar_;
-  std::unordered_map<std::uint64_t, NodeId> strash_;
+  std::vector<NodeId> piByVar_;  ///< VarId → PI node id; 0 = no PI yet
+  StrashTable strash_;
   bool twoLevel_ = true;
+
+  ScratchMemo memo_;                    ///< shared cone-rebuild memo
+  util::VarTable<Lit> substScratch_;    ///< compose(): VarId → replacement
+  mutable std::vector<std::uint64_t> simVal_;  ///< simulate() value arena
 
   mutable std::vector<std::uint32_t> stamp_;
   mutable std::uint32_t epoch_ = 0;

@@ -1,0 +1,108 @@
+#pragma once
+// Arena-style scratch structures for AIG cone walks.
+//
+// Every cone rebuild (cofactor, compose, node-map rebuild, cross-manager
+// transfer) needs a NodeId→Lit memo, and the sweeping/don't-care engines
+// need NodeId→Lit replacement maps. Both used to be per-call
+// `std::unordered_map`s; these flat, node-indexed replacements make the
+// memo lookup a single array access and let the manager reuse one
+// allocation across the thousands of walks a reachability run performs.
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "aig/lit.hpp"
+
+namespace cbq::aig {
+
+/// Epoch-stamped NodeId→Lit memo owned by the manager and reused across
+/// rebuilds. `reset(n)` starts a fresh memo over node ids [0, n) in O(1)
+/// amortized (the stamp array only grows; clearing is an epoch bump).
+class ScratchMemo {
+ public:
+  /// Begins a new memo generation covering node ids below `numNodes`.
+  void reset(std::size_t numNodes) {
+    if (numNodes > stamp_.size()) {
+      stamp_.resize(numNodes, 0);
+      val_.resize(numNodes);
+    }
+    if (++epoch_ == 0) {
+      // 32-bit wrap: scrub stamps so entries from epoch 0 generations
+      // cannot alias the recycled value.
+      std::fill(stamp_.begin(), stamp_.end(), 0u);
+      epoch_ = 1;
+    }
+  }
+
+  [[nodiscard]] bool contains(NodeId n) const {
+    return n < stamp_.size() && stamp_[n] == epoch_;
+  }
+
+  /// Precondition: contains(n).
+  [[nodiscard]] Lit at(NodeId n) const {
+    assert(contains(n));
+    return val_[n];
+  }
+
+  /// Precondition: n was covered by the latest reset().
+  void put(NodeId n, Lit l) {
+    assert(n < stamp_.size());
+    stamp_[n] = epoch_;
+    val_[n] = l;
+  }
+
+  [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
+
+  /// Test hook: positions the epoch counter just below the wrap so the
+  /// scrubbing path in reset() can be exercised directly.
+  void forceEpochForTest(std::uint32_t e) { epoch_ = e; }
+
+ private:
+  std::vector<std::uint32_t> stamp_;
+  std::vector<Lit> val_;
+  std::uint32_t epoch_ = 0;  // first reset() moves to 1
+};
+
+/// Dense NodeId→Lit replacement map: the merge maps of the sweeping
+/// engine and the care/ODC maps of the don't-care simplifier. Grows on
+/// demand; membership is a flag test, no hashing.
+class NodeMap {
+ public:
+  NodeMap() = default;
+
+  void set(NodeId n, Lit l) {
+    if (n >= present_.size()) {
+      present_.resize(n + 1, 0);
+      val_.resize(n + 1);
+    }
+    count_ += present_[n] == 0;
+    present_[n] = 1;
+    val_[n] = l;
+  }
+
+  [[nodiscard]] bool contains(NodeId n) const {
+    return n < present_.size() && present_[n] != 0;
+  }
+
+  /// Precondition: contains(n).
+  [[nodiscard]] Lit at(NodeId n) const {
+    assert(contains(n));
+    return val_[n];
+  }
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  void clear() {
+    std::fill(present_.begin(), present_.end(), std::uint8_t{0});
+    count_ = 0;
+  }
+
+ private:
+  std::vector<std::uint8_t> present_;
+  std::vector<Lit> val_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace cbq::aig

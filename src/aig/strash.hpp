@@ -1,0 +1,89 @@
+#pragma once
+// Open-addressed structural-hash table for AND nodes.
+//
+// Keys are the ordered fanin pair packed into 64 bits; values are node
+// ids. Node 0 is the constant and never names an AND node, so id 0
+// doubles as the empty-slot sentinel — one flat array, no buckets, no
+// per-node allocation. Capacity is a power of two and doubles when the
+// load factor crosses 70%.
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/lit.hpp"
+
+namespace cbq::aig {
+
+class StrashTable {
+ public:
+  explicit StrashTable(std::size_t initialCapacity = 1024) {
+    std::size_t cap = 16;
+    while (cap < initialCapacity) cap <<= 1;
+    slots_.assign(cap, Entry{0, 0});
+    mask_ = cap - 1;
+  }
+
+  /// Packs an ordered fanin pair into the hash key.
+  static std::uint64_t keyOf(Lit f0, Lit f1) {
+    return (static_cast<std::uint64_t>(f0.raw()) << 32) | f1.raw();
+  }
+
+  /// Node id registered for the fanin pair, or 0 when absent.
+  [[nodiscard]] NodeId find(Lit f0, Lit f1) const {
+    const std::uint64_t k = keyOf(f0, f1);
+    std::size_t i = mix(k) & mask_;
+    while (slots_[i].id != 0) {
+      if (slots_[i].key == k) return slots_[i].id;
+      i = (i + 1) & mask_;
+    }
+    return 0;
+  }
+
+  /// Registers `id` for the pair. Precondition: the pair is absent and
+  /// id != 0.
+  void insert(Lit f0, Lit f1, NodeId id) {
+    if ((size_ + 1) * 10 >= slots_.size() * 7) grow();
+    place(keyOf(f0, f1), id);
+    ++size_;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    NodeId id;  // 0 = empty slot
+  };
+
+  /// splitmix64 finalizer: full-avalanche mix of the packed pair.
+  static std::uint64_t mix(std::uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+  }
+
+  void place(std::uint64_t key, NodeId id) {
+    std::size_t i = mix(key) & mask_;
+    while (slots_[i].id != 0) i = (i + 1) & mask_;
+    slots_[i] = Entry{key, id};
+  }
+
+  void grow() {
+    std::vector<Entry> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Entry{0, 0});
+    mask_ = slots_.size() - 1;
+    for (const Entry& e : old) {
+      if (e.id != 0) place(e.key, e.id);
+    }
+  }
+
+  std::vector<Entry> slots_;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace cbq::aig

@@ -62,17 +62,16 @@ bool AigCnf::modelOf(aig::VarId var) const {
   return solver_->modelTrue(sat::Lit(nodeVar_[p], false));
 }
 
-std::unordered_map<aig::VarId, std::uint64_t> AigCnf::modelPattern(
+util::VarTable<std::uint64_t> AigCnf::modelPattern(
     std::span<const aig::VarId> vars, std::uint64_t (*noise)(void* ctx),
     void* ctx) const {
-  std::unordered_map<aig::VarId, std::uint64_t> words;
-  words.reserve(vars.size());
+  util::VarTable<std::uint64_t> words;
   for (const aig::VarId v : vars) {
     std::uint64_t w = noise(ctx);
     // Bit 0 carries the actual counterexample.
     w = (w & ~std::uint64_t{1}) |
         static_cast<std::uint64_t>(modelOf(v) ? 1 : 0);
-    words.emplace(v, w);
+    words.set(v, w);
   }
   return words;
 }

@@ -11,11 +11,11 @@
 #include <cstdint>
 #include <optional>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "aig/aig.hpp"
 #include "sat/solver.hpp"
+#include "util/var_table.hpp"
 
 namespace cbq::cnf {
 
@@ -42,10 +42,11 @@ class AigCnf {
 
   /// After a Sat answer: 64-bit simulation word for each varId in `vars`,
   /// whose bit 0 is the counterexample and whose remaining 63 bits are
-  /// random noise from `rng`. Used for counterexample-guided refinement.
-  [[nodiscard]] std::unordered_map<aig::VarId, std::uint64_t>
-  modelPattern(std::span<const aig::VarId> vars,
-               std::uint64_t (*noise)(void* ctx), void* ctx) const;
+  /// random noise from `rng`. Used for counterexample-guided refinement;
+  /// the result feeds Aig::simulate directly.
+  [[nodiscard]] util::VarTable<std::uint64_t> modelPattern(
+      std::span<const aig::VarId> vars, std::uint64_t (*noise)(void* ctx),
+      void* ctx) const;
 
  private:
   sat::Var varForNode(aig::NodeId n);

@@ -21,9 +21,10 @@ using aig::VarId;
 Trace reconstructTrace(const Network& net, aig::Aig& archive,
                        const std::vector<Lit>& archNext, Lit archBad,
                        const std::vector<Lit>& frontiers, int d) {
-  std::unordered_map<VarId, Lit> subst;
+  std::vector<aig::VarSub> subst;
+  subst.reserve(net.stateVars.size());
   for (std::size_t i = 0; i < net.stateVars.size(); ++i)
-    subst.emplace(net.stateVars[i], archNext[i]);
+    subst.emplace_back(net.stateVars[i], archNext[i]);
 
   Trace trace;
   std::unordered_map<VarId, bool> state = net.initAssignment();
@@ -87,13 +88,13 @@ CheckResult backwardReach(const Network& net, const std::string& engineName,
   Lit badL = moved.back();
 
   auto substOf = [&](const std::vector<Lit>& nx) {
-    std::unordered_map<VarId, Lit> m;
+    std::vector<aig::VarSub> m;
     m.reserve(nx.size());
     for (std::size_t i = 0; i < net.stateVars.size(); ++i)
-      m.emplace(net.stateVars[i], nx[i]);
+      m.emplace_back(net.stateVars[i], nx[i]);
     return m;
   };
-  std::unordered_map<VarId, Lit> subst = substOf(nextL);
+  std::vector<aig::VarSub> subst = substOf(nextL);
 
   // Archive manager: frontier history for counterexample reconstruction.
   aig::Aig archive;

@@ -27,7 +27,7 @@ struct ForwardModel {
   Lit initCube = aig::kTrue;    ///< I(s)
   std::vector<VarId> nsVars;    ///< fresh next-state variable ids
   std::vector<VarId> quantSet;  ///< state ∪ input variables
-  std::unordered_map<VarId, Lit> renameBack;  ///< s'_j -> pi(s_j)
+  std::vector<aig::VarSub> renameBack;  ///< s'_j -> pi(s_j)
 };
 
 ForwardModel buildModel(const Network& net) {
@@ -48,7 +48,7 @@ ForwardModel buildModel(const Network& net) {
   for (std::size_t j = 0; j < net.numLatches(); ++j) {
     m.nsVars[j] = maxVar + 1 + static_cast<VarId>(j);
     conjuncts.push_back(m.mgr.mkXnor(m.mgr.pi(m.nsVars[j]), m.next[j]));
-    m.renameBack.emplace(m.nsVars[j], m.mgr.pi(net.stateVars[j]));
+    m.renameBack.emplace_back(m.nsVars[j], m.mgr.pi(net.stateVars[j]));
   }
   m.tr = m.mgr.mkAndAll(conjuncts);
 

@@ -48,10 +48,10 @@ std::optional<Lit> allSatEliminate(aig::Aig& mgr, Lit f,
     }
     // Circuit cofactoring (Ganai et al. [2]): substitute the model's
     // values for the enumerated variables only.
-    std::unordered_map<VarId, Lit> consts;
+    std::vector<aig::VarSub> consts;
     consts.reserve(live.size());
     for (const VarId v : live)
-      consts.emplace(v, cnf.modelOf(v) ? aig::kTrue : aig::kFalse);
+      consts.emplace_back(v, cnf.modelOf(v) ? aig::kTrue : aig::kFalse);
     const Lit cube = mgr.compose(f, consts);
     result = mgr.mkOr(result, cube);
     // Block every state covered by this cofactor.

@@ -1,7 +1,9 @@
 #include "quant/quantifier.hpp"
 
 #include <algorithm>
-#include <unordered_map>
+#include <bit>
+
+#include "util/var_table.hpp"
 
 namespace cbq::quant {
 
@@ -199,40 +201,48 @@ std::optional<Lit> Quantifier::quantifyVarImpl(Lit f, VarId v,
 std::vector<std::size_t> Quantifier::dependentCounts(
     Lit f, std::span<const VarId> vars) const {
   // Bottom-up support bitsets restricted to the candidate variables, then
-  // per-variable population counts. Words scale with |vars|.
+  // per-variable population counts. Words scale with |vars|; rows are
+  // allocated compactly per cone node in one flat arena.
   const Lit roots[] = {f};
   const auto order = aig_->coneAnds(roots);
   const std::size_t words = (vars.size() + 63) / 64;
-  std::unordered_map<VarId, std::size_t> varSlot;
-  for (std::size_t i = 0; i < vars.size(); ++i) varSlot.emplace(vars[i], i);
+  util::VarTable<std::uint32_t> varSlot;
+  for (std::size_t i = 0; i < vars.size(); ++i)
+    varSlot.set(vars[i], static_cast<std::uint32_t>(i));
 
-  std::unordered_map<NodeId, std::vector<std::uint64_t>> mask;
-  mask.reserve(order.size() * 2);
-  auto maskOf = [&](NodeId n) -> std::vector<std::uint64_t>& {
-    auto [it, inserted] = mask.try_emplace(n);
-    if (inserted) {
-      it->second.assign(words, 0);
-      if (aig_->isPi(n)) {
-        if (auto slot = varSlot.find(aig_->piVar(n)); slot != varSlot.end())
-          it->second[slot->second / 64] |=
-              std::uint64_t{1} << (slot->second % 64);
+  constexpr std::uint32_t kNoRow = 0xffffffffu;
+  std::vector<std::uint32_t> rowOf(aig_->numNodes(), kNoRow);
+  std::vector<std::uint64_t> bits;  // row-major arena, `words` per row
+  bits.reserve((order.size() + vars.size() + 1) * words);
+  auto ensureRow = [&](NodeId n) -> std::uint32_t {
+    if (rowOf[n] == kNoRow) {
+      rowOf[n] = static_cast<std::uint32_t>(bits.size() / words);
+      bits.resize(bits.size() + words, 0);
+      if (aig_->isPi(n) && varSlot.contains(aig_->piVar(n))) {
+        const std::uint32_t slot = varSlot.at(aig_->piVar(n));
+        bits[rowOf[n] * words + slot / 64] |= std::uint64_t{1} << (slot % 64);
       }
     }
-    return it->second;
+    return rowOf[n];
   };
 
   std::vector<std::size_t> counts(vars.size(), 0);
   for (const NodeId n : order) {
-    // Build this node's mask from its fanins (already processed).
-    const auto& m0 = maskOf(aig_->fanin0(n).node());
-    // Careful: maskOf may rehash; copy before the second lookup.
-    std::vector<std::uint64_t> combined = m0;
-    const auto& m1 = maskOf(aig_->fanin1(n).node());
-    for (std::size_t w = 0; w < words; ++w) combined[w] |= m1[w];
-    for (std::size_t i = 0; i < vars.size(); ++i) {
-      if ((combined[i / 64] >> (i % 64)) & 1) ++counts[i];
+    // Build this node's mask from its fanins (already processed). Take
+    // row indices first: ensureRow may grow the arena.
+    const std::uint32_t r0 = ensureRow(aig_->fanin0(n).node());
+    const std::uint32_t r1 = ensureRow(aig_->fanin1(n).node());
+    const std::uint32_t rn = ensureRow(n);
+    for (std::size_t w = 0; w < words; ++w) {
+      const std::uint64_t combined =
+          bits[r0 * words + w] | bits[r1 * words + w];
+      bits[rn * words + w] = combined;
+      std::uint64_t rest = combined;
+      while (rest != 0) {
+        ++counts[w * 64 + static_cast<std::size_t>(std::countr_zero(rest))];
+        rest &= rest - 1;
+      }
     }
-    mask[n] = std::move(combined);
   }
   return counts;
 }

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "bdd/bdd.hpp"
 #include "cnf/aig_cnf.hpp"
@@ -20,32 +19,36 @@ using aig::VarId;
 
 std::uint64_t negMask(bool b) { return b ? ~std::uint64_t{0} : 0; }
 
-/// Multi-word signatures for every node in the cone.
+/// Multi-word signatures for every node in the cone. PI patterns are kept
+/// in flat vectors parallel to the (sorted) support array — no per-lookup
+/// hashing anywhere on the resimulation path.
 class Signatures {
  public:
   Signatures(const aig::Aig& aig, std::span<const NodeId> order,
              std::span<const VarId> support, util::Random& rng, int words)
-      : aig_(&aig), order_(order.begin(), order.end()) {
-    for (const VarId v : support) {
-      auto& w = piWords_[v];
+      : aig_(&aig),
+        order_(order.begin(), order.end()),
+        support_(support.begin(), support.end()),
+        piWords_(support.size()) {
+    for (auto& w : piWords_) {
       w.resize(static_cast<std::size_t>(words));
       for (auto& x : w) x = rng.next64();
     }
     resimulate();
   }
 
-  /// Appends one simulation word per PI: bit j of `cexBits[v]` is the j-th
-  /// stored counterexample value; unused bits are random noise.
-  void appendWord(const std::unordered_map<VarId, std::uint64_t>& cexBits,
-                  int cexCount, util::Random& rng) {
+  /// Appends one simulation word per PI: bit j of `cexBits[i]` (parallel
+  /// to the support array) is the j-th stored counterexample value;
+  /// unused bits are random noise.
+  void appendWord(std::span<const std::uint64_t> cexBits, int cexCount,
+                  util::Random& rng) {
     const std::uint64_t keepMask =
         cexCount >= 64 ? ~std::uint64_t{0}
                        : ((std::uint64_t{1} << cexCount) - 1);
-    for (auto& [v, w] : piWords_) {
+    for (std::size_t i = 0; i < piWords_.size(); ++i) {
       std::uint64_t word = rng.next64() & ~keepMask;
-      if (auto it = cexBits.find(v); it != cexBits.end())
-        word |= (it->second & keepMask);
-      w.push_back(word);
+      word |= cexBits[i] & keepMask;
+      piWords_[i].push_back(word);
     }
     resimulate();
   }
@@ -81,12 +84,12 @@ class Signatures {
 
  private:
   void resimulate() {
-    const std::size_t words = piWords_.empty()
-                                  ? 1
-                                  : piWords_.begin()->second.size();
+    const std::size_t words =
+        piWords_.empty() ? 1 : piWords_.front().size();
     sig_.assign(aig_->numNodes(), {});
     sig_[0].assign(words, 0);  // constant node
-    for (const auto& [v, w] : piWords_) sig_[aig_->piNodeOf(v)] = w;
+    for (std::size_t i = 0; i < support_.size(); ++i)
+      sig_[aig_->piNodeOf(support_[i])] = piWords_[i];
     for (const NodeId n : order_) {
       const Lit f0 = aig_->fanin0(n);
       const Lit f1 = aig_->fanin1(n);
@@ -103,24 +106,27 @@ class Signatures {
 
   const aig::Aig* aig_;
   std::vector<NodeId> order_;
-  std::unordered_map<VarId, std::vector<std::uint64_t>> piWords_;
+  std::vector<VarId> support_;
+  std::vector<std::vector<std::uint64_t>> piWords_;  // parallel to support_
   std::vector<std::vector<std::uint64_t>> sig_;
 };
 
 /// Nodes reachable from `roots` when merges in `mergeMap` are applied —
 /// backward mode skips compare points that merging has already detached.
-std::unordered_set<NodeId> referencedNodes(
-    const aig::Aig& aig, std::span<const Lit> roots,
-    const std::unordered_map<NodeId, Lit>& mergeMap) {
-  std::unordered_set<NodeId> seen;
+/// Returned as a node-indexed flag vector.
+std::vector<std::uint8_t> referencedNodes(const aig::Aig& aig,
+                                          std::span<const Lit> roots,
+                                          const aig::NodeMap& mergeMap) {
+  std::vector<std::uint8_t> seen(aig.numNodes(), 0);
   std::vector<NodeId> stack;
   for (const Lit r : roots) stack.push_back(r.node());
   while (!stack.empty()) {
     const NodeId n = stack.back();
     stack.pop_back();
-    if (!seen.insert(n).second) continue;
-    if (auto it = mergeMap.find(n); it != mergeMap.end()) {
-      stack.push_back(it->second.node());
+    if (seen[n] != 0) continue;
+    seen[n] = 1;
+    if (mergeMap.contains(n)) {
+      stack.push_back(mergeMap.at(n).node());
     } else if (aig.isAnd(n)) {
       stack.push_back(aig.fanin0(n).node());
       stack.push_back(aig.fanin1(n).node());
@@ -153,11 +159,11 @@ SweepResult sweep(aig::Aig& aig, std::span<const Lit> roots,
   pool.reserve(support.size() + order.size());
   for (const VarId v : support) pool.push_back(aig.piNodeOf(v));
   pool.insert(pool.end(), order.begin(), order.end());
-  std::unordered_map<NodeId, std::size_t> poolPos;
-  for (std::size_t i = 0; i < pool.size(); ++i) poolPos.emplace(pool[i], i);
 
-  std::unordered_map<NodeId, Lit> mergeMap;
-  std::unordered_set<NodeId> disqualified;
+  // No SAT checks grow the manager before the final rebuild, so these
+  // node-indexed scratch vectors stay correctly sized for the whole run.
+  aig::NodeMap mergeMap;
+  std::vector<std::uint8_t> disqualified(aig.numNodes(), 0);
 
   // ----- layer 2: BDD sweeping -------------------------------------------
   if (opts.useBdd && opts.bddNodeLimit > 0) {
@@ -197,12 +203,12 @@ SweepResult sweep(aig::Aig& aig, std::span<const Lit> roots,
       const bdd::BddRef b = nodeBdd[n];
       if (aig.isAnd(n)) {
         if (b == bdd::kFalseBdd || b == bdd::kTrueBdd) {
-          mergeMap.emplace(n, b == bdd::kTrueBdd ? aig::kTrue : aig::kFalse);
+          mergeMap.set(n, b == bdd::kTrueBdd ? aig::kTrue : aig::kFalse);
           ++out.stats.constMerges;
           continue;
         }
         if (auto it = bddRep.find(b); it != bddRep.end()) {
-          mergeMap.emplace(n, it->second);
+          mergeMap.set(n, it->second);
           ++out.stats.bddMerges;
           continue;
         }
@@ -214,7 +220,7 @@ SweepResult sweep(aig::Aig& aig, std::span<const Lit> roots,
           continue;
         }
         if (auto it = bddRep.find(nb); it != bddRep.end()) {
-          mergeMap.emplace(n, !it->second);
+          mergeMap.set(n, !it->second);
           ++out.stats.bddMerges;
           continue;
         }
@@ -249,12 +255,12 @@ SweepResult sweep(aig::Aig& aig, std::span<const Lit> roots,
     // Build candidate classes from the current signatures.
     std::unordered_map<std::string, std::size_t> classIndex;
     std::vector<EquivClass> classes;
-    std::unordered_set<NodeId> referenced;
+    std::vector<std::uint8_t> referenced;
     if (opts.backward) referenced = referencedNodes(aig, roots, mergeMap);
 
     for (const NodeId n : pool) {
-      if (mergeMap.contains(n) || disqualified.contains(n)) continue;
-      if (opts.backward && !referenced.contains(n)) {
+      if (mergeMap.contains(n) || disqualified[n] != 0) continue;
+      if (opts.backward && referenced[n] == 0) {
         if (aig.isAnd(n)) ++out.stats.skippedUnreferenced;
         continue;
       }
@@ -297,7 +303,7 @@ SweepResult sweep(aig::Aig& aig, std::span<const Lit> roots,
                        });
     }
 
-    std::unordered_map<VarId, std::uint64_t> cexBits;
+    std::vector<std::uint64_t> cexBits(support.size(), 0);
     int cexCount = 0;
 
     for (const std::size_t ci : clsOrder) {
@@ -312,7 +318,7 @@ SweepResult sweep(aig::Aig& aig, std::span<const Lit> roots,
 
       for (const NodeId m : members) {
         if (cexCount >= 64) break;  // next round will pick the rest up
-        if (mergeMap.contains(m) || disqualified.contains(m)) continue;
+        if (mergeMap.contains(m) || disqualified[m] != 0) continue;
 
         cnf::Verdict verdict;
         Lit target;
@@ -331,7 +337,7 @@ SweepResult sweep(aig::Aig& aig, std::span<const Lit> roots,
 
         switch (verdict) {
           case cnf::Verdict::Holds: {
-            mergeMap.emplace(m, target);
+            mergeMap.set(m, target);
             if (cls.constant) {
               ++out.stats.constMerges;
               if (opts.learnEquivalences) {
@@ -347,16 +353,16 @@ SweepResult sweep(aig::Aig& aig, std::span<const Lit> roots,
           }
           case cnf::Verdict::Fails: {
             ++out.stats.satRefuted;
-            for (const VarId v : support) {
-              const std::uint64_t bit = cnf.modelOf(v) ? 1 : 0;
-              cexBits[v] |= bit << cexCount;
+            for (std::size_t i = 0; i < support.size(); ++i) {
+              const std::uint64_t bit = cnf.modelOf(support[i]) ? 1 : 0;
+              cexBits[i] |= bit << cexCount;
             }
             ++cexCount;
             break;
           }
           case cnf::Verdict::Unknown: {
             ++out.stats.satUnknown;
-            disqualified.insert(m);
+            disqualified[m] = 1;
             break;
           }
         }

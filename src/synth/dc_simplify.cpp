@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "cnf/aig_cnf.hpp"
 #include "sat/solver.hpp"
@@ -29,24 +28,25 @@ class CareSim {
     const Lit both[] = {fRef, fTgt};
     order_ = aig.coneAnds(both);
     support_ = aig.supportVars(both);
-    for (const VarId v : support_) {
-      auto& w = piWords_[v];
+    piWords_.resize(support_.size());
+    for (auto& w : piWords_) {
       w.resize(static_cast<std::size_t>(words));
       for (auto& x : w) x = rng.next64();
     }
     resimulate();
   }
 
-  void appendWord(const std::unordered_map<VarId, std::uint64_t>& cexBits,
-                  int cexCount, util::Random& rng) {
+  /// `cexBits` is parallel to support(): bit j of entry i is the j-th
+  /// stored counterexample value of support()[i].
+  void appendWord(std::span<const std::uint64_t> cexBits, int cexCount,
+                  util::Random& rng) {
     const std::uint64_t keepMask =
         cexCount >= 64 ? ~std::uint64_t{0}
                        : ((std::uint64_t{1} << cexCount) - 1);
-    for (auto& [v, w] : piWords_) {
+    for (std::size_t i = 0; i < piWords_.size(); ++i) {
       std::uint64_t word = rng.next64() & ~keepMask;
-      if (auto it = cexBits.find(v); it != cexBits.end())
-        word |= (it->second & keepMask);
-      w.push_back(word);
+      word |= cexBits[i] & keepMask;
+      piWords_[i].push_back(word);
     }
     resimulate();
   }
@@ -94,10 +94,11 @@ class CareSim {
  private:
   void resimulate() {
     const std::size_t words =
-        piWords_.empty() ? 1 : piWords_.begin()->second.size();
+        piWords_.empty() ? 1 : piWords_.front().size();
     sig_.assign(aig_->numNodes(), {});
     sig_[0].assign(words, 0);
-    for (const auto& [v, w] : piWords_) sig_[aig_->piNodeOf(v)] = w;
+    for (std::size_t i = 0; i < support_.size(); ++i)
+      sig_[aig_->piNodeOf(support_[i])] = piWords_[i];
     for (const NodeId n : order_) {
       const Lit f0 = aig_->fanin0(n);
       const Lit f1 = aig_->fanin1(n);
@@ -121,7 +122,7 @@ class CareSim {
   Lit fRef_, fTgt_;
   std::vector<NodeId> order_;
   std::vector<VarId> support_;
-  std::unordered_map<VarId, std::vector<std::uint64_t>> piWords_;
+  std::vector<std::vector<std::uint64_t>> piWords_;  // parallel to support_
   std::vector<std::vector<std::uint64_t>> sig_;
   std::vector<std::uint64_t> care_;
 };
@@ -183,8 +184,10 @@ DcResult dcSimplify(aig::Aig& aig, Lit fRef, Lit fTgt, const DcOptions& opts) {
   const Lit notRef = !fRef;
 
   // ----- phase A: input-DC replacements (cex-refined rounds) -------------
-  std::unordered_map<NodeId, Lit> careMap;
-  std::unordered_set<NodeId> disqualified;
+  // Phase A only encodes into the solver (the manager does not grow), so
+  // node-indexed scratch vectors sized now stay valid for every round.
+  aig::NodeMap careMap;
+  std::vector<std::uint8_t> disqualified(aig.numNodes(), 0);
 
   for (int round = 0; round < opts.maxRounds; ++round) {
     const auto targetOrder = sim.targetOrder();
@@ -194,12 +197,12 @@ DcResult dcSimplify(aig::Aig& aig, Lit fRef, Lit fTgt, const DcOptions& opts) {
       repByKey.emplace(sim.careKey(Lit(aig.piNodeOf(v), false)),
                        Lit(aig.piNodeOf(v), false));
 
-    std::unordered_map<VarId, std::uint64_t> cexBits;
+    std::vector<std::uint64_t> cexBits(sim.support().size(), 0);
     int cexCount = 0;
 
     for (const NodeId n : targetOrder) {
       if (cexCount >= 64) break;
-      if (careMap.contains(n) || disqualified.contains(n)) continue;
+      if (careMap.contains(n) || disqualified[n] != 0) continue;
       const Lit ln(n, false);
 
       // Proposed candidate: constant, or an earlier node with identical
@@ -232,7 +235,7 @@ DcResult dcSimplify(aig::Aig& aig, Lit fRef, Lit fTgt, const DcOptions& opts) {
           checkEquivUnderCare(cnf, notRef, ln, candidate, opts.satBudget);
       switch (verdict) {
         case cnf::Verdict::Holds: {
-          careMap.emplace(n, candidate);
+          careMap.set(n, candidate);
           if (candidate.isConstant())
             ++out.stats.constReplacements;
           else
@@ -241,9 +244,9 @@ DcResult dcSimplify(aig::Aig& aig, Lit fRef, Lit fTgt, const DcOptions& opts) {
         }
         case cnf::Verdict::Fails: {
           ++out.stats.satRefuted;
-          for (const VarId v : sim.support()) {
-            const std::uint64_t bit = cnf.modelOf(v) ? 1 : 0;
-            cexBits[v] |= bit << cexCount;
+          for (std::size_t i = 0; i < sim.support().size(); ++i) {
+            const std::uint64_t bit = cnf.modelOf(sim.support()[i]) ? 1 : 0;
+            cexBits[i] |= bit << cexCount;
           }
           ++cexCount;
           // Keep the node available as a representative for later nodes.
@@ -252,7 +255,7 @@ DcResult dcSimplify(aig::Aig& aig, Lit fRef, Lit fTgt, const DcOptions& opts) {
         }
         case cnf::Verdict::Unknown: {
           ++out.stats.satUnknown;
-          disqualified.insert(n);
+          disqualified[n] = 1;
           break;
         }
       }
@@ -282,8 +285,8 @@ DcResult dcSimplify(aig::Aig& aig, Lit fRef, Lit fTgt, const DcOptions& opts) {
         for (const bool value : {false, true}) {
           if (attempts >= opts.odcAttempts) break;
           ++attempts;
-          std::unordered_map<NodeId, Lit> tentativeMap{
-              {n, value ? aig::kTrue : aig::kFalse}};
+          aig::NodeMap tentativeMap;
+          tentativeMap.set(n, value ? aig::kTrue : aig::kFalse);
           const Lit tentative =
               aig.rebuildWithNodeMap(curRoots, tentativeMap).front();
           const Lit tentRoots[] = {tentative};
@@ -317,8 +320,7 @@ std::vector<aig::Lit> rewrite(aig::Aig& aig,
                               std::span<const aig::Lit> roots) {
   // Rebuilding with an empty node map re-drives every cone node through
   // mkAnd, re-applying the one/two-level rules and current strash table.
-  static const std::unordered_map<NodeId, Lit> kEmpty;
-  return aig.rebuildWithNodeMap(roots, kEmpty);
+  return aig.rebuildWithNodeMap(roots, aig::NodeMap{});
 }
 
 }  // namespace cbq::synth

@@ -1,0 +1,71 @@
+#pragma once
+// Dense, epoch-stamped slot table keyed by small unsigned ids.
+//
+// The AIG layers key almost everything by `VarId` (external variable
+// numbers assigned densely by the model-checking layer) or similar small
+// integers. A flat vector with per-slot epoch stamps replaces the
+// `std::unordered_map` lookups on those paths: membership is one compare,
+// clearing is O(1) (bump the epoch), and the storage is reusable across
+// thousands of calls without rehashing or node-chasing.
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace cbq::util {
+
+/// VarId-indexed slot table. `clear()` is O(1); slots grow on demand.
+/// A slot written under an older epoch reads as absent.
+template <typename T>
+class VarTable {
+ public:
+  VarTable() = default;
+
+  /// Forgets every entry in O(1) by bumping the epoch. On the (rare)
+  /// 32-bit wrap the stamps are scrubbed so stale entries cannot alias
+  /// the recycled epoch value.
+  void clear() {
+    if (++epoch_ == 0) {
+      std::fill(stamp_.begin(), stamp_.end(), 0u);
+      epoch_ = 1;
+    }
+  }
+
+  void set(std::uint32_t key, T value) {
+    if (key >= stamp_.size()) {
+      stamp_.resize(key + 1, 0);
+      val_.resize(key + 1);
+    }
+    stamp_[key] = epoch_;
+    val_[key] = std::move(value);
+  }
+
+  [[nodiscard]] bool contains(std::uint32_t key) const {
+    return key < stamp_.size() && stamp_[key] == epoch_;
+  }
+
+  /// Precondition: contains(key).
+  [[nodiscard]] const T& at(std::uint32_t key) const {
+    assert(contains(key));
+    return val_[key];
+  }
+
+  /// Value of `key`, or `fallback` when absent.
+  [[nodiscard]] T get(std::uint32_t key, T fallback) const {
+    return contains(key) ? val_[key] : fallback;
+  }
+
+  [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
+
+  /// Test hook: drives the epoch counter to an arbitrary value so the
+  /// wrap-around path in clear() can be exercised without 2^32 calls.
+  void forceEpochForTest(std::uint32_t e) { epoch_ = e; }
+
+ private:
+  std::vector<std::uint32_t> stamp_;
+  std::vector<T> val_;
+  std::uint32_t epoch_ = 1;  // 0 is reserved for "never written"
+};
+
+}  // namespace cbq::util

@@ -7,6 +7,7 @@
 #include "aig/aig.hpp"
 #include "helpers.hpp"
 #include "util/random.hpp"
+#include "util/var_table.hpp"
 
 namespace cbq {
 namespace {
@@ -93,14 +94,14 @@ TEST_P(AigRandomized, SimulateAgreesWithEvaluate) {
   Aig g;
   const Lit f = test::randomFormula(g, rng, 6, 50);
   // 64 random patterns at once vs one-by-one evaluation.
-  std::unordered_map<VarId, std::uint64_t> words;
-  for (VarId v = 0; v < 6; ++v) words.emplace(v, rng.next64());
+  util::VarTable<std::uint64_t> words;
+  for (VarId v = 0; v < 6; ++v) words.set(v, rng.next64());
   const Lit roots[] = {f};
   const std::uint64_t result = g.simulate(roots, words).front();
   for (int bit = 0; bit < 64; bit += 7) {
     std::unordered_map<VarId, bool> assign;
     for (VarId v = 0; v < 6; ++v)
-      assign.emplace(v, ((words[v] >> bit) & 1) != 0);
+      assign.emplace(v, ((words.at(v) >> bit) & 1) != 0);
     EXPECT_EQ(((result >> bit) & 1) != 0, g.evaluate(f, assign));
   }
 }
@@ -132,8 +133,8 @@ TEST_P(AigRandomized, RebuildWithNodeMapAppliesReplacement) {
   const Lit outer = g.mkAnd(inner, g.pi(2));
   // Replace the XOR node with plain OR (a function change on purpose).
   const Lit replacement = g.mkOr(a, b);
-  std::unordered_map<aig::NodeId, Lit> map{
-      {inner.node(), replacement ^ inner.negated()}};
+  aig::NodeMap map;
+  map.set(inner.node(), replacement ^ inner.negated());
   const Lit roots[] = {outer};
   const Lit rebuilt = g.rebuildWithNodeMap(roots, map).front();
   const Lit expect = g.mkAnd(g.mkOr(a, b), g.pi(2));
