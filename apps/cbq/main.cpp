@@ -1,0 +1,373 @@
+// cbq — the portfolio model checker's command-line front end.
+//
+//   cbq check file.aag [--engine bmc | --engines cbq-reach,bmc] [--timeout 30]
+//   cbq batch dir/ --jobs 8 --engines cbq-reach,bmc,k-induction --timeout 30
+//   cbq gen counter --width 4 [--unsafe] [-o counter.aag]
+//   cbq gen-suite dir/
+//   cbq engines
+//
+// `check` races the engine portfolio on one circuit (a single --engine runs
+// sequentially); `batch` fans a directory of circuits across worker
+// threads, each problem checked by the portfolio, and writes JSON/CSV
+// summaries. `gen` / `gen-suite` emit the built-in benchmark families as
+// AIGER files so the tool is exercisable without external benchmark sets.
+//
+// Exit codes: 0 definitive verdict (check) / error-free batch, 1 usage or
+// input error, 2 counterexample failed replay, 3 verdict Unknown.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "circuits/io.hpp"
+#include "circuits/suite.hpp"
+#include "mc/engines.hpp"
+#include "portfolio/report.hpp"
+#include "portfolio/runner.hpp"
+#include "portfolio/scheduler.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using cbq::mc::Verdict;
+
+struct Args {
+  std::vector<std::string> positional;
+  double timeout = 0.0;
+  std::size_t nodeLimit = 0;
+  int jobs = 0;
+  int width = 4;
+  bool unsafe = false;
+  bool quiet = false;
+  std::string engine;
+  std::vector<std::string> engines;
+  std::string output;  // -o
+  std::string jsonPath;
+  std::string csvPath;
+};
+
+std::vector<std::string> splitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+bool parseArgs(int argc, char** argv, int first, Args& args) {
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "cbq: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (a == "--timeout" || a == "-t") {
+      const char* v = value("--timeout");
+      if (!v) return false;
+      args.timeout = std::atof(v);
+    } else if (a == "--node-limit") {
+      const char* v = value("--node-limit");
+      if (!v) return false;
+      args.nodeLimit = static_cast<std::size_t>(std::atoll(v));
+    } else if (a == "--jobs" || a == "-j") {
+      const char* v = value("--jobs");
+      if (!v) return false;
+      args.jobs = std::atoi(v);
+    } else if (a == "--width" || a == "-w") {
+      const char* v = value("--width");
+      if (!v) return false;
+      args.width = std::atoi(v);
+    } else if (a == "--engine") {
+      const char* v = value("--engine");
+      if (!v) return false;
+      args.engine = v;
+    } else if (a == "--engines") {
+      const char* v = value("--engines");
+      if (!v) return false;
+      args.engines = splitCsv(v);
+    } else if (a == "--output" || a == "-o") {
+      const char* v = value("-o");
+      if (!v) return false;
+      args.output = v;
+    } else if (a == "--json") {
+      const char* v = value("--json");
+      if (!v) return false;
+      args.jsonPath = v;
+    } else if (a == "--csv") {
+      const char* v = value("--csv");
+      if (!v) return false;
+      args.csvPath = v;
+    } else if (a == "--unsafe") {
+      args.unsafe = true;
+    } else if (a == "--safe") {
+      args.unsafe = false;
+    } else if (a == "--quiet" || a == "-q") {
+      args.quiet = true;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "cbq: unknown option %s\n", a.c_str());
+      return false;
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return true;
+}
+
+int usage() {
+  std::fputs(
+      "usage:\n"
+      "  cbq check <file> [--engine NAME | --engines A,B,C] [--timeout S]\n"
+      "            [--node-limit N]\n"
+      "      race the portfolio on one circuit (.aag/.aig/.bench);\n"
+      "      a single --engine runs that engine alone\n"
+      "  cbq batch <dir-or-files...> [--jobs N] [--engines A,B,C]\n"
+      "            [--timeout S] [--node-limit N] [--json F] [--csv F]\n"
+      "            [--quiet]\n"
+      "      verify every circuit file with a worker pool; --timeout is\n"
+      "      the per-problem budget\n"
+      "  cbq gen <family> [--width N] [--unsafe] [-o file.aag]\n"
+      "      emit a built-in benchmark family instance as AIGER ascii\n"
+      "  cbq gen-suite <dir>\n"
+      "      emit the standard suite (all families, safe+unsafe) into dir\n"
+      "  cbq engines\n"
+      "      list engine names (* = default portfolio)\n",
+      stderr);
+  return 1;
+}
+
+void printEngineTable(const std::vector<cbq::portfolio::EngineRun>& runs) {
+  std::printf("  %-14s %-8s %6s %9s  %s\n", "engine", "verdict", "steps",
+              "seconds", "");
+  for (const auto& r : runs) {
+    std::printf("  %-14s %-8s %6d %9.3f  %s\n", r.engine.c_str(),
+                cbq::mc::toString(r.verdict), r.steps, r.seconds,
+                r.winner      ? "<- winner"
+                : r.cancelled ? "(cancelled)"
+                              : "");
+  }
+}
+
+int cmdEngines() {
+  const auto defaults = cbq::portfolio::defaultPortfolio();
+  for (const std::string& name : cbq::mc::engineNames()) {
+    const bool inDefault =
+        std::find(defaults.begin(), defaults.end(), name) != defaults.end();
+    std::printf("%s%s\n", name.c_str(), inDefault ? " *" : "");
+  }
+  return 0;
+}
+
+int cmdCheck(const Args& args) {
+  if (args.positional.size() != 1) return usage();
+  cbq::mc::Network net;
+  try {
+    net = cbq::circuits::readCircuitFile(args.positional[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cbq: %s\n", e.what());
+    return 1;
+  }
+  std::printf("%s: %zu latches, %zu inputs, %zu AND nodes\n",
+              net.name.c_str(), net.numLatches(), net.numInputs(),
+              net.aig.numAnds());
+
+  cbq::portfolio::PortfolioOptions opts;
+  if (!args.engine.empty()) {
+    opts.engines = {args.engine};
+  } else if (!args.engines.empty()) {
+    opts.engines = args.engines;
+  }
+  opts.timeLimitSeconds = args.timeout;
+  opts.nodeLimit = args.nodeLimit;
+
+  cbq::portfolio::PortfolioResult res;
+  try {
+    const cbq::portfolio::PortfolioRunner runner(opts);
+    res = runner.run(net);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "cbq: %s\n", e.what());
+    return 1;
+  }
+
+  printEngineTable(res.runs);
+  const auto* winner = res.winner();
+  std::printf("verdict: %s (%s, %.3fs wall)\n",
+              cbq::mc::toString(res.best.verdict),
+              winner ? winner->engine.c_str() : "no definitive engine",
+              res.wallSeconds);
+
+  if (res.best.verdict == Verdict::Unsafe && res.best.cex.has_value()) {
+    const bool ok = cbq::mc::replayHitsBad(net, *res.best.cex);
+    std::printf("counterexample: %zu steps, replay %s\n",
+                res.best.cex->length(),
+                ok ? "confirms the bug" : "FAILED");
+    if (!ok) return 2;
+  }
+  return res.best.verdict == Verdict::Unknown ? 3 : 0;
+}
+
+int cmdBatch(const Args& args) {
+  if (args.positional.empty()) return usage();
+
+  std::vector<std::string> files;
+  try {
+    files = cbq::portfolio::BatchScheduler::collectCircuitFiles(
+        args.positional);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cbq: %s\n", e.what());
+    return 1;
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "cbq: no circuit files (.aag/.aig/.bench) found\n");
+    return 1;
+  }
+
+  cbq::portfolio::BatchOptions opts;
+  opts.jobs = args.jobs;
+  if (!args.engine.empty()) {
+    opts.portfolio.engines = {args.engine};
+  } else if (!args.engines.empty()) {
+    opts.portfolio.engines = args.engines;
+  }
+  opts.portfolio.timeLimitSeconds = args.timeout;
+  opts.portfolio.nodeLimit = args.nodeLimit;
+
+  cbq::portfolio::BatchSummary summary;
+  try {
+    const cbq::portfolio::BatchScheduler scheduler(opts);
+    const auto onResult =
+        [&](const cbq::portfolio::BatchProblemResult& r) {
+          if (args.quiet) return;
+          if (!r.error.empty()) {
+            std::printf("%-28s ERROR    %s\n", r.name.c_str(),
+                        r.error.c_str());
+          } else {
+            std::printf("%-28s %-8s %-14s %6d steps %9.3fs\n",
+                        r.name.c_str(), cbq::mc::toString(r.verdict),
+                        r.winnerEngine.empty() ? "-"
+                                               : r.winnerEngine.c_str(),
+                        r.steps, r.seconds);
+          }
+          std::fflush(stdout);
+        };
+    summary = scheduler.runFiles(files, onResult);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "cbq: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf(
+      "\n%zu problems: %d safe, %d unsafe, %d unknown, %d errors "
+      "(%.3fs wall)\n",
+      summary.problems.size(), summary.safe, summary.unsafe,
+      summary.unknown, summary.errors, summary.wallSeconds);
+
+  auto writeReport = [](const std::string& path, const auto& writer,
+                        const cbq::portfolio::BatchSummary& s) {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cbq: cannot write %s\n", path.c_str());
+      return false;
+    }
+    writer(s, out);
+    return true;
+  };
+  if (!args.jsonPath.empty() &&
+      !writeReport(args.jsonPath, cbq::portfolio::writeJson, summary))
+    return 1;
+  if (!args.csvPath.empty() &&
+      !writeReport(args.csvPath, cbq::portfolio::writeCsv, summary))
+    return 1;
+
+  return summary.errors == 0 ? 0 : 1;
+}
+
+int cmdGen(const Args& args) {
+  if (args.positional.size() != 1) return usage();
+  cbq::circuits::Instance inst;
+  try {
+    inst = cbq::circuits::makeInstance(args.positional[0], args.width,
+                                       !args.unsafe);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "cbq: %s\n", e.what());
+    return 1;
+  }
+  if (args.output.empty()) {
+    cbq::circuits::writeAag(inst.net, std::cout);
+  } else {
+    // Match the reader's extension dispatch: .aig gets binary AIGER so
+    // the generated file round-trips through `cbq check`/`cbq batch`.
+    const bool binary = args.output.size() >= 4 &&
+                        args.output.compare(args.output.size() - 4, 4,
+                                            ".aig") == 0;
+    std::ofstream out(args.output,
+                      binary ? std::ios::out | std::ios::binary
+                             : std::ios::out);
+    if (!out) {
+      std::fprintf(stderr, "cbq: cannot write %s\n", args.output.c_str());
+      return 1;
+    }
+    if (binary) {
+      cbq::circuits::writeAigBinary(inst.net, out);
+    } else {
+      cbq::circuits::writeAag(inst.net, out);
+    }
+    std::fprintf(stderr, "wrote %s (%s, expected %s)\n",
+                 args.output.c_str(), inst.net.name.c_str(),
+                 cbq::mc::toString(inst.expected));
+  }
+  return 0;
+}
+
+int cmdGenSuite(const Args& args) {
+  if (args.positional.size() != 1) return usage();
+  const fs::path dir(args.positional[0]);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cbq: cannot create %s\n", dir.string().c_str());
+    return 1;
+  }
+  int count = 0;
+  for (const auto& inst : cbq::circuits::standardSuite()) {
+    std::ostringstream name;
+    name << inst.family;
+    if (inst.width > 0) name << inst.width;
+    name << (inst.expected == Verdict::Safe ? "_safe" : "_unsafe")
+         << ".aag";
+    std::ofstream out(dir / name.str());
+    if (!out) {
+      std::fprintf(stderr, "cbq: cannot write %s\n", name.str().c_str());
+      return 1;
+    }
+    cbq::circuits::writeAag(inst.net, out);
+    ++count;
+  }
+  std::printf("wrote %d circuits to %s\n", count, dir.string().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  Args args;
+  if (!parseArgs(argc, argv, 2, args)) return 1;
+
+  if (cmd == "engines") return cmdEngines();
+  if (cmd == "check") return cmdCheck(args);
+  if (cmd == "batch") return cmdBatch(args);
+  if (cmd == "gen") return cmdGen(args);
+  if (cmd == "gen-suite") return cmdGenSuite(args);
+  return usage();
+}

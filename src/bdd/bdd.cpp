@@ -19,6 +19,9 @@ BddRef BddManager::mkNode(std::uint32_t level, BddRef lo, BddRef hi) {
   const UniqueKey key{level, lo, hi};
   if (auto it = unique_.find(key); it != unique_.end()) return it->second;
   if (nodeLimit_ != 0 && nodes_.size() >= nodeLimit_) throw NodeLimitExceeded{};
+  if (interrupt_ && (++allocsSinceInterruptPoll_ & 255u) == 0 &&
+      interrupt_())
+    throw Interrupted{};
   nodes_.push_back(Node{level, lo, hi});
   const auto ref = static_cast<BddRef>(nodes_.size() + 1);  // ids offset by 2
   unique_.emplace(key, ref);

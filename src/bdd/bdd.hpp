@@ -17,8 +17,10 @@
 // deep operator recursions.
 
 #include <cstdint>
+#include <functional>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "aig/aig.hpp"
@@ -36,10 +38,24 @@ struct NodeLimitExceeded : std::runtime_error {
   NodeLimitExceeded() : std::runtime_error("BDD node limit exceeded") {}
 };
 
+/// Thrown when the manager's interrupt callback fires mid-operation —
+/// same unwind-through-deep-recursion rationale as NodeLimitExceeded.
+struct Interrupted : std::runtime_error {
+  Interrupted() : std::runtime_error("BDD operation interrupted") {}
+};
+
 class BddManager {
  public:
   /// `nodeLimit` caps the total number of allocated nodes (0 = unlimited).
   explicit BddManager(std::size_t nodeLimit = 0) : nodeLimit_(nodeLimit) {}
+
+  /// Installs a cooperative interrupt, polled every few hundred node
+  /// allocations; when it returns true the current operation throws
+  /// Interrupted. This is how a portfolio cancel lands inside one long
+  /// exists/andExists call. Pass nullptr to clear.
+  void setInterrupt(std::function<bool()> callback) {
+    interrupt_ = std::move(callback);
+  }
 
   // ----- variables -----------------------------------------------------
 
@@ -159,6 +175,8 @@ class BddManager {
   std::unordered_map<aig::VarId, std::uint32_t> varLevel_;
   std::vector<aig::VarId> levelToVar_;
   std::size_t nodeLimit_;
+  std::function<bool()> interrupt_;
+  std::uint32_t allocsSinceInterruptPoll_ = 0;
 };
 
 /// Builds the BDD of an AIG cone (aborts with NodeLimitExceeded when the

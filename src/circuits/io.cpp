@@ -517,10 +517,14 @@ void writeBench(const Network& net, std::ostream& out) {
 }
 
 mc::Network readCircuitFile(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw ParseError("cannot open file: " + path);
   const auto dot = path.find_last_of('.');
   const std::string ext = dot == std::string::npos ? "" : path.substr(dot);
+  // Binary AIGER carries delta-encoded AND bytes that text-mode reads
+  // mangle on platforms with newline translation.
+  const auto mode = ext == ".aig" ? std::ios::in | std::ios::binary
+                                  : std::ios::in;
+  std::ifstream in(path, mode);
+  if (!in) throw ParseError("cannot open file: " + path);
   const auto slash = path.find_last_of('/');
   const std::string base =
       slash == std::string::npos ? path : path.substr(slash + 1);

@@ -33,7 +33,8 @@ void writeAigBinary(const mc::Network& net, std::ostream& out);
 mc::Network readBench(std::istream& in, std::string name = "bench");
 void writeBench(const mc::Network& net, std::ostream& out);
 
-/// Dispatches on the file extension (.aag / .bench).
+/// Dispatches on the file extension (.aag / .aig / .bench); the binary
+/// .aig path opens the stream in binary mode.
 mc::Network readCircuitFile(const std::string& path);
 
 }  // namespace cbq::circuits

@@ -73,9 +73,10 @@ CheckResult backwardReach(const Network& net, const std::string& engineName,
                           const ReachLimits& limits,
                           bool compactEachIteration,
                           std::size_t hardConeLimit,
-                          const InputEliminator& eliminate) {
+                          const InputEliminator& eliminate,
+                          const portfolio::Budget& budget) {
   util::Timer timer;
-  util::Deadline deadline(limits.timeLimitSeconds);
+  const portfolio::Budget bud = budget.tightened(limits.timeLimitSeconds);
   CheckResult res;
   res.engine = engineName;
 
@@ -111,7 +112,7 @@ CheckResult backwardReach(const Network& net, const std::string& engineName,
   };
 
   // Frontier 0: B = ∃i . bad(s, i).
-  PreImageRequest req{&mgr, badL, &net, &res.stats};
+  PreImageRequest req{&mgr, badL, &net, &res.stats, &bud};
   const auto b0 = eliminate(req);
   if (!b0) return finish(Verdict::Unknown, 0);
   Lit frontier = *b0;
@@ -126,13 +127,14 @@ CheckResult backwardReach(const Network& net, const std::string& engineName,
   bool unsafe = mgr.evaluate(frontier, initA);
 
   while (!unsafe) {
-    if (iter >= limits.maxIterations || deadline.expired())
+    if (iter >= limits.maxIterations || bud.exhausted())
       return finish(Verdict::Unknown, iter);
     {
       const Lit rr[] = {reached};
       const std::size_t sz = mgr.coneSize(rr);
       res.stats.high("reach.max_reached_cone", static_cast<double>(sz));
-      if (sz > hardConeLimit) return finish(Verdict::Unknown, iter);
+      if (sz > hardConeLimit || bud.nodesExceeded(sz))
+        return finish(Verdict::Unknown, iter);
     }
     ++iter;
 
@@ -145,10 +147,13 @@ CheckResult backwardReach(const Network& net, const std::string& engineName,
     // Fixpoint: every pre-image state already reached?
     {
       sat::Solver solver;
+      solver.setInterrupt([&bud] { return bud.exhausted(); });
       cnf::AigCnf cnf(mgr, solver);
       res.stats.add("reach.fixpoint_checks");
-      if (cnf::checkImplies(cnf, pre, reached) == cnf::Verdict::Holds)
-        return finish(Verdict::Safe, iter);
+      const cnf::Verdict fp = cnf::checkImplies(cnf, pre, reached);
+      if (fp == cnf::Verdict::Holds) return finish(Verdict::Safe, iter);
+      if (fp == cnf::Verdict::Unknown)  // interrupted mid-solve
+        return finish(Verdict::Unknown, iter);
     }
 
     frontier = pre;

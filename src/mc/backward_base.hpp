@@ -21,6 +21,7 @@ struct PreImageRequest {
   aig::Lit formula;              ///< F(δ(s,i)) — inputs still present
   const Network* net;
   util::Stats* stats;
+  const portfolio::Budget* budget;  ///< effective run budget (never null)
 };
 
 /// Callback: eliminate the inputs from request.formula. Returns
@@ -29,11 +30,14 @@ using InputEliminator =
     std::function<std::optional<aig::Lit>(const PreImageRequest&)>;
 
 /// Runs backward reachability with AIG state sets. `eliminate` is invoked
-/// once on the initial bad cone and once per pre-image.
+/// once on the initial bad cone and once per pre-image. `budget` is the
+/// caller's cooperative budget; `limits.timeLimitSeconds` is folded into
+/// it, and its node limit applies to the reached-set cone.
 CheckResult backwardReach(const Network& net, const std::string& engineName,
                           const ReachLimits& limits,
                           bool compactEachIteration,
                           std::size_t hardConeLimit,
-                          const InputEliminator& eliminate);
+                          const InputEliminator& eliminate,
+                          const portfolio::Budget& budget);
 
 }  // namespace cbq::mc::detail

@@ -83,9 +83,11 @@ Trace reconstructBddTrace(const Network& net, BddModel& model,
 
 }  // namespace
 
-CheckResult BddBackwardReach::check(const Network& net) {
+CheckResult BddBackwardReach::doCheck(const Network& net,
+                                      const portfolio::Budget& budget) {
   util::Timer timer;
-  util::Deadline deadline(opts_.limits.timeLimitSeconds);
+  const portfolio::Budget bud =
+      budget.tightened(opts_.limits.timeLimitSeconds);
   CheckResult res;
   res.engine = name();
   res.verdict = Verdict::Unknown;
@@ -93,6 +95,7 @@ CheckResult BddBackwardReach::check(const Network& net) {
   try {
     auto model = buildModel(net, opts_.nodeLimit);
     bdd::BddManager& bm = model->mgr;
+    bm.setInterrupt([&bud] { return bud.exhausted(); });
 
     std::unordered_map<VarId, BddRef> subst;
     for (std::size_t i = 0; i < net.stateVars.size(); ++i)
@@ -106,7 +109,8 @@ CheckResult BddBackwardReach::check(const Network& net) {
     int iter = 0;
     bool unsafe = bm.evaluate(frontier, initA);
     while (!unsafe) {
-      if (iter >= opts_.limits.maxIterations || deadline.expired()) {
+      if (iter >= opts_.limits.maxIterations || bud.exhausted() ||
+          bud.nodesExceeded(bm.numNodes())) {
         res.seconds = timer.seconds();
         res.steps = iter;
         return res;
@@ -133,19 +137,25 @@ CheckResult BddBackwardReach::check(const Network& net) {
       unsafe = bm.evaluate(frontier, initA);
     }
 
+    // Reconstruction first: a node-limit/interrupt abort mid-trace must
+    // not leave a "definitive" Unsafe with no replayable counterexample.
+    res.cex = reconstructBddTrace(net, *model, frontiers, iter);
     res.verdict = Verdict::Unsafe;
     res.steps = iter;
-    res.cex = reconstructBddTrace(net, *model, frontiers, iter);
   } catch (const bdd::NodeLimitExceeded&) {
     res.stats.add("bdd.node_limit_hits");
+  } catch (const bdd::Interrupted&) {
+    res.stats.add("bdd.interrupts");
   }
   res.seconds = timer.seconds();
   return res;
 }
 
-CheckResult BddForwardReach::check(const Network& net) {
+CheckResult BddForwardReach::doCheck(const Network& net,
+                                     const portfolio::Budget& budget) {
   util::Timer timer;
-  util::Deadline deadline(opts_.limits.timeLimitSeconds);
+  const portfolio::Budget bud =
+      budget.tightened(opts_.limits.timeLimitSeconds);
   CheckResult res;
   res.engine = name();
   res.verdict = Verdict::Unknown;
@@ -153,6 +163,7 @@ CheckResult BddForwardReach::check(const Network& net) {
   try {
     auto model = buildModel(net, opts_.nodeLimit);
     bdd::BddManager& bm = model->mgr;
+    bm.setInterrupt([&bud] { return bud.exhausted(); });
 
     // Next-state variables get fresh ids above every network variable.
     VarId maxVar = 0;
@@ -192,7 +203,9 @@ CheckResult BddForwardReach::check(const Network& net) {
         // what the baseline comparison uses.
         break;
       }
-      if (iter >= opts_.limits.maxIterations || deadline.expired()) break;
+      if (iter >= opts_.limits.maxIterations || bud.exhausted() ||
+          bud.nodesExceeded(bm.numNodes()))
+        break;
       ++iter;
       const BddRef imgNs = bm.andExists(tr, frontier, presentAndInputs);
       const BddRef img = bm.compose(imgNs, rename);
@@ -210,6 +223,8 @@ CheckResult BddForwardReach::check(const Network& net) {
     }
   } catch (const bdd::NodeLimitExceeded&) {
     res.stats.add("bdd.node_limit_hits");
+  } catch (const bdd::Interrupted&) {
+    res.stats.add("bdd.interrupts");
   }
   res.seconds = timer.seconds();
   return res;

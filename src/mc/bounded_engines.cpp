@@ -21,18 +21,20 @@ Trace traceFromModel(const Unroller& unroller, int depth) {
 
 }  // namespace
 
-CheckResult Bmc::check(const Network& net) {
+CheckResult Bmc::doCheck(const Network& net,
+                         const portfolio::Budget& budget) {
   util::Timer timer;
-  util::Deadline deadline(opts_.timeLimitSeconds);
+  const portfolio::Budget bud = budget.tightened(opts_.timeLimitSeconds);
   CheckResult res;
   res.engine = name();
 
   sat::Solver solver;
+  solver.setInterrupt([&bud] { return bud.exhausted(); });
   Unroller unroller(net, solver);
   unroller.assertInit();
 
   for (int k = 0; k <= opts_.maxDepth; ++k) {
-    if (deadline.expired()) {
+    if (bud.exhausted()) {
       res.verdict = Verdict::Unknown;
       res.steps = k;
       break;
@@ -40,7 +42,8 @@ CheckResult Bmc::check(const Network& net) {
     unroller.ensureFrame(k);
     const sat::Lit assumptions[] = {unroller.badLit(k)};
     res.stats.add("bmc.solves");
-    if (solver.solve(assumptions) == sat::Status::Sat) {
+    const sat::Status st = solver.solve(assumptions);
+    if (st == sat::Status::Sat) {
       res.verdict = Verdict::Unsafe;
       res.steps = k;
       res.cex = traceFromModel(unroller, k);
@@ -48,33 +51,38 @@ CheckResult Bmc::check(const Network& net) {
     }
     res.verdict = Verdict::Unknown;  // bounded method: clean up to maxDepth
     res.steps = k;
+    if (st == sat::Status::Undef) break;  // interrupted mid-solve
   }
   res.stats.set("bmc.conflicts", static_cast<double>(solver.conflicts()));
   res.seconds = timer.seconds();
   return res;
 }
 
-CheckResult KInduction::check(const Network& net) {
+CheckResult KInduction::doCheck(const Network& net,
+                                const portfolio::Budget& budget) {
   util::Timer timer;
-  util::Deadline deadline(opts_.timeLimitSeconds);
+  const portfolio::Budget bud = budget.tightened(opts_.timeLimitSeconds);
   CheckResult res;
   res.engine = name();
   res.verdict = Verdict::Unknown;
 
   // Base case: an incremental BMC solver shared across all k.
   sat::Solver baseSolver;
+  baseSolver.setInterrupt([&bud] { return bud.exhausted(); });
   Unroller base(net, baseSolver);
   base.assertInit();
 
   for (int k = 0; k <= opts_.maxK; ++k) {
-    if (deadline.expired()) break;
+    if (bud.exhausted()) break;
     res.steps = k;
 
     // --- base: a counterexample of length k? -------------------------
     base.ensureFrame(k);
     const sat::Lit baseAssumptions[] = {base.badLit(k)};
     res.stats.add("ind.base_solves");
-    if (baseSolver.solve(baseAssumptions) == sat::Status::Sat) {
+    const sat::Status baseSt = baseSolver.solve(baseAssumptions);
+    if (baseSt == sat::Status::Undef) break;  // interrupted mid-solve
+    if (baseSt == sat::Status::Sat) {
       res.verdict = Verdict::Unsafe;
       res.cex = [&] {
         Trace t;
@@ -87,6 +95,7 @@ CheckResult KInduction::check(const Network& net) {
     // --- step: ¬bad for k frames on any (simple) path ⇒ ¬bad at k+1? --
     // Frames 0..k, no init, bad only at frame k, ¬bad at 0..k-1.
     sat::Solver stepSolver;
+    stepSolver.setInterrupt([&bud] { return bud.exhausted(); });
     Unroller step(net, stepSolver);
     step.ensureFrame(k);
     for (int j = 0; j < k; ++j) stepSolver.addClause({!step.badLit(j)});

@@ -23,19 +23,35 @@
 
 #include "mc/network.hpp"
 #include "mc/result.hpp"
+#include "portfolio/budget.hpp"
 #include "quant/quantifier.hpp"
 
 namespace cbq::mc {
 
 /// Common interface: every engine checks the invariant of a network.
+///
+/// The budget carries the caller's cooperative cancellation (the portfolio
+/// runner's race token), wall-clock deadline and node limit. Every engine
+/// folds its own option limits on top (Budget::tightened) and polls the
+/// result in each fixpoint / unrolling / enumeration loop, reporting
+/// Unknown when it fires.
 class Engine {
  public:
   virtual ~Engine() = default;
   [[nodiscard]] virtual std::string name() const = 0;
-  virtual CheckResult check(const Network& net) = 0;
+  CheckResult check(const Network& net,
+                    const portfolio::Budget& budget = {}) {
+    return doCheck(net, budget);
+  }
+
+ protected:
+  virtual CheckResult doCheck(const Network& net,
+                              const portfolio::Budget& budget) = 0;
 };
 
-/// Shared resource bounds for the fixpoint engines.
+/// Shared resource bounds for the fixpoint engines. The time limit is
+/// enforced through the run Budget (tightened at check() entry), not by a
+/// per-engine ad-hoc deadline.
 struct ReachLimits {
   int maxIterations = 10000;
   double timeLimitSeconds = 60.0;
@@ -55,9 +71,10 @@ class CircuitQuantReach final : public Engine {
   explicit CircuitQuantReach(CircuitQuantReachOptions opts = {})
       : opts_(opts) {}
   [[nodiscard]] std::string name() const override { return "cbq-reach"; }
-  CheckResult check(const Network& net) override;
 
  private:
+  CheckResult doCheck(const Network& net,
+                      const portfolio::Budget& budget) override;
   CircuitQuantReachOptions opts_;
 };
 
@@ -82,9 +99,10 @@ class CircuitQuantForwardReach final : public Engine {
   explicit CircuitQuantForwardReach(CircuitQuantForwardOptions opts = {})
       : opts_(opts) {}
   [[nodiscard]] std::string name() const override { return "cbq-fwd"; }
-  CheckResult check(const Network& net) override;
 
  private:
+  CheckResult doCheck(const Network& net,
+                      const portfolio::Budget& budget) override;
   CircuitQuantForwardOptions opts_;
 };
 
@@ -99,9 +117,10 @@ class BddBackwardReach final : public Engine {
  public:
   explicit BddBackwardReach(BddReachOptions opts = {}) : opts_(opts) {}
   [[nodiscard]] std::string name() const override { return "bdd-bwd"; }
-  CheckResult check(const Network& net) override;
 
  private:
+  CheckResult doCheck(const Network& net,
+                      const portfolio::Budget& budget) override;
   BddReachOptions opts_;
 };
 
@@ -109,9 +128,10 @@ class BddForwardReach final : public Engine {
  public:
   explicit BddForwardReach(BddReachOptions opts = {}) : opts_(opts) {}
   [[nodiscard]] std::string name() const override { return "bdd-fwd"; }
-  CheckResult check(const Network& net) override;
 
  private:
+  CheckResult doCheck(const Network& net,
+                      const portfolio::Budget& budget) override;
   BddReachOptions opts_;
 };
 
@@ -126,9 +146,10 @@ class Bmc final : public Engine {
  public:
   explicit Bmc(BmcOptions opts = {}) : opts_(opts) {}
   [[nodiscard]] std::string name() const override { return "bmc"; }
-  CheckResult check(const Network& net) override;
 
  private:
+  CheckResult doCheck(const Network& net,
+                      const portfolio::Budget& budget) override;
   BmcOptions opts_;
 };
 
@@ -142,9 +163,10 @@ class KInduction final : public Engine {
  public:
   explicit KInduction(InductionOptions opts = {}) : opts_(opts) {}
   [[nodiscard]] std::string name() const override { return "k-induction"; }
-  CheckResult check(const Network& net) override;
 
  private:
+  CheckResult doCheck(const Network& net,
+                      const portfolio::Budget& budget) override;
   InductionOptions opts_;
 };
 
@@ -159,9 +181,10 @@ class AllSatPreimageReach final : public Engine {
  public:
   explicit AllSatPreimageReach(AllSatReachOptions opts = {}) : opts_(opts) {}
   [[nodiscard]] std::string name() const override { return "allsat-reach"; }
-  CheckResult check(const Network& net) override;
 
  private:
+  CheckResult doCheck(const Network& net,
+                      const portfolio::Budget& budget) override;
   AllSatReachOptions opts_;
 };
 
@@ -175,9 +198,10 @@ class HybridReach final : public Engine {
  public:
   explicit HybridReach(HybridReachOptions opts = {}) : opts_(opts) {}
   [[nodiscard]] std::string name() const override { return "hybrid-reach"; }
-  CheckResult check(const Network& net) override;
 
  private:
+  CheckResult doCheck(const Network& net,
+                      const portfolio::Budget& budget) override;
   HybridReachOptions opts_;
 };
 
@@ -197,5 +221,13 @@ PreprocessResult preprocessQuantifyInputs(const Network& net,
 
 /// The full engine portfolio with default options (used by benches/tests).
 std::vector<std::unique_ptr<Engine>> makeAllEngines();
+
+/// Canonical engine names, in makeAllEngines() order.
+std::vector<std::string> engineNames();
+
+/// Factory by canonical name ("cbq-reach", "bmc", ...); nullptr when the
+/// name is unknown. The portfolio runner and the cbq CLI build their
+/// engine sets through this registry.
+std::unique_ptr<Engine> makeEngine(const std::string& name);
 
 }  // namespace cbq::mc

@@ -113,9 +113,11 @@ std::optional<Trace> extractTrace(const Network& net, ForwardModel& m,
 
 }  // namespace
 
-CheckResult CircuitQuantForwardReach::check(const Network& net) {
+CheckResult CircuitQuantForwardReach::doCheck(
+    const Network& net, const portfolio::Budget& budget) {
   util::Timer timer;
-  util::Deadline deadline(opts_.limits.timeLimitSeconds);
+  const portfolio::Budget bud =
+      budget.tightened(opts_.limits.timeLimitSeconds);
   CheckResult res;
   res.engine = name();
   res.verdict = Verdict::Unknown;
@@ -127,6 +129,7 @@ CheckResult CircuitQuantForwardReach::check(const Network& net) {
 
   auto intersectsBad = [&](Lit stateSet) {
     sat::Solver solver;
+    solver.setInterrupt([&bud] { return bud.exhausted(); });
     cnf::AigCnf cnf(m.mgr, solver);
     return cnf::checkSat(cnf, m.mgr.mkAnd(stateSet, m.bad)) ==
            cnf::Verdict::Holds;
@@ -140,7 +143,7 @@ CheckResult CircuitQuantForwardReach::check(const Network& net) {
       res.cex = extractTrace(net, m, rings, iter);
       break;
     }
-    if (iter >= opts_.limits.maxIterations || deadline.expired()) {
+    if (iter >= opts_.limits.maxIterations || bud.exhausted()) {
       res.steps = iter;
       break;
     }
@@ -148,22 +151,34 @@ CheckResult CircuitQuantForwardReach::check(const Network& net) {
       const Lit rr[] = {reached};
       const std::size_t sz = m.mgr.coneSize(rr);
       res.stats.high("reach.max_reached_cone", static_cast<double>(sz));
-      if (sz > opts_.hardConeLimit) break;
+      if (sz > opts_.hardConeLimit || bud.nodesExceeded(sz)) break;
     }
     ++iter;
 
     // Image: ∃(s, i) . TR ∧ F — both variable classes at once (§1).
-    quant::Quantifier q(m.mgr, opts_.quant);
+    quant::QuantOptions qopts = opts_.quant;
+    qopts.interrupt = [&bud] { return bud.exhausted(); };
+    quant::Quantifier q(m.mgr, qopts);
     const Lit conj = m.mgr.mkAnd(m.tr, frontier);
     auto r = q.quantifyAll(conj, m.quantSet);
     Lit imgNs = r.f;
-    for (const VarId v : r.residual) imgNs = q.quantifyVarForced(imgNs, v);
+    bool interrupted = bud.exhausted();  // quantifyAll stopped mid-way
+    for (const VarId v : r.residual) {
+      if (interrupted) break;  // forced expansion has no growth bound
+      imgNs = q.quantifyVarForced(imgNs, v);
+      interrupted = bud.exhausted();
+    }
     res.stats.merge(q.stats());
+    if (interrupted) {
+      res.steps = iter;
+      break;
+    }
     const Lit img = m.mgr.compose(imgNs, m.renameBack);
 
     // Fixpoint?
     {
       sat::Solver solver;
+      solver.setInterrupt([&bud] { return bud.exhausted(); });
       cnf::AigCnf cnf(m.mgr, solver);
       res.stats.add("reach.fixpoint_checks");
       if (cnf::checkImplies(cnf, img, reached) == cnf::Verdict::Holds) {

@@ -50,6 +50,25 @@ struct Network {
   }
 };
 
+/// Deep copy into a fresh manager (dead nodes are compacted away). The
+/// manager's const reads (evaluate, coneSize, supportVars) stamp mutable
+/// scratch arenas, so concurrent engine runs over one Network are a data
+/// race — the portfolio runner hands each racing engine its own clone
+/// instead.
+[[nodiscard]] inline Network cloneNetwork(const Network& net) {
+  Network out;
+  out.name = net.name;
+  out.stateVars = net.stateVars;
+  out.inputVars = net.inputVars;
+  out.init = net.init;
+  std::vector<aig::Lit> roots(net.next.begin(), net.next.end());
+  roots.push_back(net.bad);
+  const auto moved = out.aig.transferFrom(net.aig, roots);
+  out.next.assign(moved.begin(), moved.end() - 1);
+  out.bad = moved.back();
+  return out;
+}
+
 /// Incremental construction helper used by the benchmark families: keeps
 /// the state/input variable bookkeeping in one place.
 class NetworkBuilder {

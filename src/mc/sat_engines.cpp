@@ -18,10 +18,12 @@ using aig::VarId;
 /// All-solution SAT elimination of `vars` from `f` with Ganai-style
 /// circuit cofactoring: every satisfying assignment is generalized by
 /// cofactoring the formula against the model's *input* values, yielding a
-/// whole state-set circuit per enumeration step.
+/// whole state-set circuit per enumeration step. Polls `budget` per
+/// enumeration (and inside each solve) so a portfolio cancel lands fast.
 std::optional<Lit> allSatEliminate(aig::Aig& mgr, Lit f,
                                    std::span<const VarId> vars,
-                                   int maxEnum, util::Stats& stats) {
+                                   int maxEnum, util::Stats& stats,
+                                   const portfolio::Budget& budget) {
   // Restrict to variables actually present.
   std::vector<VarId> live;
   {
@@ -33,15 +35,18 @@ std::optional<Lit> allSatEliminate(aig::Aig& mgr, Lit f,
   if (live.empty() || f.isConstant()) return f;
 
   sat::Solver solver;
+  solver.setInterrupt([&budget] { return budget.exhausted(); });
   cnf::AigCnf cnf(mgr, solver);
   const sat::Lit target = cnf.litFor(f);
 
   Lit result = aig::kFalse;
   int count = 0;
   for (;;) {
+    if (budget.exhausted()) return std::nullopt;
     const sat::Lit assumptions[] = {target};
     const sat::Status st = solver.solve(assumptions);
     if (st == sat::Status::Unsat) break;
+    if (st == sat::Status::Undef) return std::nullopt;  // interrupted
     if (++count > maxEnum) {
       stats.add("allsat.enum_overflow");
       return std::nullopt;
@@ -63,40 +68,54 @@ std::optional<Lit> allSatEliminate(aig::Aig& mgr, Lit f,
 
 }  // namespace
 
-CheckResult CircuitQuantReach::check(const Network& net) {
+CheckResult CircuitQuantReach::doCheck(const Network& net,
+                                       const portfolio::Budget& budget) {
   const auto eliminate =
       [&](const detail::PreImageRequest& req) -> std::optional<Lit> {
-    quant::Quantifier q(*req.mgr, opts_.quant);
+    quant::QuantOptions qopts = opts_.quant;
+    qopts.interrupt = [b = req.budget] { return b->exhausted(); };
+    quant::Quantifier q(*req.mgr, qopts);
     auto r = q.quantifyAll(req.formula, net.inputVars);
     Lit f = r.f;
     // A standalone circuit engine must finish the job: aborted variables
     // are expanded without the growth bound.
-    for (const VarId v : r.residual) f = q.quantifyVarForced(f, v);
+    for (const VarId v : r.residual) {
+      if (req.budget->exhausted()) {
+        req.stats->merge(q.stats());
+        return std::nullopt;
+      }
+      f = q.quantifyVarForced(f, v);
+    }
     req.stats->merge(q.stats());
     return f;
   };
   return detail::backwardReach(net, name(), opts_.limits,
                                opts_.compactEachIteration,
-                               opts_.hardConeLimit, eliminate);
+                               opts_.hardConeLimit, eliminate, budget);
 }
 
-CheckResult AllSatPreimageReach::check(const Network& net) {
+CheckResult AllSatPreimageReach::doCheck(const Network& net,
+                                         const portfolio::Budget& budget) {
   const auto eliminate =
       [&](const detail::PreImageRequest& req) -> std::optional<Lit> {
     return allSatEliminate(*req.mgr, req.formula, net.inputVars,
-                           opts_.maxEnumPerImage, *req.stats);
+                           opts_.maxEnumPerImage, *req.stats, *req.budget);
   };
   return detail::backwardReach(net, name(), opts_.limits,
                                /*compactEachIteration=*/true,
-                               /*hardConeLimit=*/2'000'000, eliminate);
+                               /*hardConeLimit=*/2'000'000, eliminate,
+                               budget);
 }
 
-CheckResult HybridReach::check(const Network& net) {
+CheckResult HybridReach::doCheck(const Network& net,
+                                 const portfolio::Budget& budget) {
   const auto eliminate =
       [&](const detail::PreImageRequest& req) -> std::optional<Lit> {
     // Phase 1 (§4): partial circuit quantification — cheap variables are
     // eliminated, blow-up-prone ones abort and stay.
-    quant::Quantifier q(*req.mgr, opts_.quant);
+    quant::QuantOptions qopts = opts_.quant;
+    qopts.interrupt = [b = req.budget] { return b->exhausted(); };
+    quant::Quantifier q(*req.mgr, qopts);
     auto r = q.quantifyAll(req.formula, net.inputVars);
     req.stats->merge(q.stats());
     req.stats->add("hybrid.residual_vars",
@@ -104,11 +123,12 @@ CheckResult HybridReach::check(const Network& net) {
     if (r.residual.empty()) return r.f;
     // Phase 2: the remaining decision variables go to all-SAT enumeration.
     return allSatEliminate(*req.mgr, r.f, r.residual, opts_.maxEnumPerImage,
-                           *req.stats);
+                           *req.stats, *req.budget);
   };
   return detail::backwardReach(net, name(), opts_.limits,
                                /*compactEachIteration=*/true,
-                               /*hardConeLimit=*/2'000'000, eliminate);
+                               /*hardConeLimit=*/2'000'000, eliminate,
+                               budget);
 }
 
 PreprocessResult preprocessQuantifyInputs(const Network& net,
@@ -151,15 +171,26 @@ PreprocessResult preprocessQuantifyInputs(const Network& net,
 
 std::vector<std::unique_ptr<Engine>> makeAllEngines() {
   std::vector<std::unique_ptr<Engine>> engines;
-  engines.push_back(std::make_unique<CircuitQuantReach>());
-  engines.push_back(std::make_unique<CircuitQuantForwardReach>());
-  engines.push_back(std::make_unique<BddBackwardReach>());
-  engines.push_back(std::make_unique<BddForwardReach>());
-  engines.push_back(std::make_unique<Bmc>());
-  engines.push_back(std::make_unique<KInduction>());
-  engines.push_back(std::make_unique<AllSatPreimageReach>());
-  engines.push_back(std::make_unique<HybridReach>());
+  for (const std::string& name : engineNames())
+    engines.push_back(makeEngine(name));
   return engines;
+}
+
+std::vector<std::string> engineNames() {
+  return {"cbq-reach", "cbq-fwd",     "bdd-bwd",      "bdd-fwd",
+          "bmc",       "k-induction", "allsat-reach", "hybrid-reach"};
+}
+
+std::unique_ptr<Engine> makeEngine(const std::string& name) {
+  if (name == "cbq-reach") return std::make_unique<CircuitQuantReach>();
+  if (name == "cbq-fwd") return std::make_unique<CircuitQuantForwardReach>();
+  if (name == "bdd-bwd") return std::make_unique<BddBackwardReach>();
+  if (name == "bdd-fwd") return std::make_unique<BddForwardReach>();
+  if (name == "bmc") return std::make_unique<Bmc>();
+  if (name == "k-induction") return std::make_unique<KInduction>();
+  if (name == "allsat-reach") return std::make_unique<AllSatPreimageReach>();
+  if (name == "hybrid-reach") return std::make_unique<HybridReach>();
+  return nullptr;
 }
 
 }  // namespace cbq::mc

@@ -1,0 +1,95 @@
+#pragma once
+// Cooperative execution budgets for engine runs.
+//
+// A Budget bundles the three ways a run can be told to stop early:
+//   * an external CancelToken — flipped by the portfolio runner the moment
+//     a rival engine produces a definitive verdict;
+//   * a wall-clock deadline;
+//   * a node limit on the engine's dominant data structure (AIG cone size
+//     for the circuit engines, live nodes for the BDD engines).
+// Engines fold their own option limits on top (Budget::tightened) and poll
+// exhausted() in every fixpoint / unrolling / enumeration loop, handing an
+// interrupt callback to the SAT solvers they create so cancellation latency
+// is bounded by a few hundred conflicts rather than one engine iteration.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+
+namespace cbq::portfolio {
+
+/// A shared stop flag. One token is observed by every engine racing on a
+/// problem; cancel() is sticky until reset().
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void cancel() noexcept { flag_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return flag_.load(std::memory_order_acquire);
+  }
+  void reset() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Immutable view of a run's resource envelope. Copyable; copies share the
+/// (externally owned) CancelToken, which must outlive every copy.
+class Budget {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Unlimited: never expires, never cancelled, no node bound.
+  Budget() = default;
+
+  /// `deadlineSeconds` <= 0 means no deadline; `nodeLimit` 0 means no
+  /// node bound. The deadline clock starts now.
+  explicit Budget(double deadlineSeconds, std::size_t nodeLimit = 0,
+                  const CancelToken* cancel = nullptr)
+      : nodeLimit_(nodeLimit), cancel_(cancel) {
+    if (deadlineSeconds > 0.0)
+      deadline_ = Clock::now() + toDuration(deadlineSeconds);
+  }
+
+  /// The tighter of this budget and a fresh allowance of `seconds` from
+  /// now — how an engine folds its own option time limit into the caller's
+  /// budget. Non-positive `seconds` adds no constraint.
+  [[nodiscard]] Budget tightened(double seconds) const {
+    Budget b = *this;
+    if (seconds > 0.0) {
+      const Clock::time_point d = Clock::now() + toDuration(seconds);
+      if (d < b.deadline_) b.deadline_ = d;
+    }
+    return b;
+  }
+
+  [[nodiscard]] bool cancelled() const {
+    return cancel_ != nullptr && cancel_->cancelled();
+  }
+  [[nodiscard]] bool timedOut() const {
+    return deadline_ != Clock::time_point::max() && Clock::now() >= deadline_;
+  }
+  /// The per-loop poll: external cancel or deadline.
+  [[nodiscard]] bool exhausted() const { return cancelled() || timedOut(); }
+
+  [[nodiscard]] bool nodesExceeded(std::size_t liveNodes) const {
+    return nodeLimit_ != 0 && liveNodes > nodeLimit_;
+  }
+  [[nodiscard]] std::size_t nodeLimit() const { return nodeLimit_; }
+  [[nodiscard]] const CancelToken* token() const { return cancel_; }
+
+ private:
+  static Clock::duration toDuration(double s) {
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(s));
+  }
+
+  Clock::time_point deadline_ = Clock::time_point::max();
+  std::size_t nodeLimit_ = 0;
+  const CancelToken* cancel_ = nullptr;
+};
+
+}  // namespace cbq::portfolio

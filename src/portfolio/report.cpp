@@ -1,0 +1,115 @@
+#include "portfolio/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace cbq::portfolio {
+
+namespace {
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// JSON has no NaN/Inf; clamp to null-free finite output.
+std::string jsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+/// CSV fields are quoted only when they contain a comma, quote or newline.
+std::string csvField(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void writeJson(const BatchSummary& summary, std::ostream& out) {
+  out << "{\n";
+  out << "  \"total\": " << summary.problems.size() << ",\n";
+  out << "  \"safe\": " << summary.safe << ",\n";
+  out << "  \"unsafe\": " << summary.unsafe << ",\n";
+  out << "  \"unknown\": " << summary.unknown << ",\n";
+  out << "  \"errors\": " << summary.errors << ",\n";
+  out << "  \"wall_seconds\": " << jsonNumber(summary.wallSeconds) << ",\n";
+  out << "  \"problems\": [";
+  for (std::size_t i = 0; i < summary.problems.size(); ++i) {
+    const BatchProblemResult& p = summary.problems[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"name\": \"" << jsonEscape(p.name) << "\", ";
+    out << "\"path\": \"" << jsonEscape(p.path) << "\", ";
+    out << "\"verdict\": \"" << mc::toString(p.verdict) << "\", ";
+    out << "\"winner\": \"" << jsonEscape(p.winnerEngine) << "\", ";
+    out << "\"steps\": " << p.steps << ", ";
+    out << "\"seconds\": " << jsonNumber(p.seconds) << ", ";
+    out << "\"latches\": " << p.latches << ", ";
+    out << "\"inputs\": " << p.inputs << ", ";
+    out << "\"ands\": " << p.ands << ", ";
+    out << "\"error\": \"" << jsonEscape(p.error) << "\", ";
+    out << "\"engines\": [";
+    for (std::size_t j = 0; j < p.runs.size(); ++j) {
+      const EngineRun& r = p.runs[j];
+      out << (j == 0 ? "" : ", ");
+      out << "{\"engine\": \"" << jsonEscape(r.engine) << "\", "
+          << "\"verdict\": \"" << mc::toString(r.verdict) << "\", "
+          << "\"steps\": " << r.steps << ", "
+          << "\"seconds\": " << jsonNumber(r.seconds) << ", "
+          << "\"winner\": " << (r.winner ? "true" : "false") << ", "
+          << "\"cancelled\": " << (r.cancelled ? "true" : "false") << "}";
+    }
+    out << "]}";
+  }
+  out << "\n  ]\n}\n";
+}
+
+void writeCsv(const BatchSummary& summary, std::ostream& out) {
+  out << "name,path,verdict,winner,steps,seconds,latches,inputs,ands,error\n";
+  for (const BatchProblemResult& p : summary.problems) {
+    out << csvField(p.name) << ',' << csvField(p.path) << ','
+        << mc::toString(p.verdict) << ',' << csvField(p.winnerEngine) << ','
+        << p.steps << ',' << jsonNumber(p.seconds) << ',' << p.latches << ','
+        << p.inputs << ',' << p.ands << ',' << csvField(p.error) << '\n';
+  }
+}
+
+}  // namespace cbq::portfolio

@@ -1,0 +1,19 @@
+#pragma once
+// Batch result serialization: machine-readable JSON (full per-engine
+// detail) and spreadsheet-friendly CSV (one row per problem).
+
+#include <iosfwd>
+
+#include "portfolio/scheduler.hpp"
+
+namespace cbq::portfolio {
+
+/// Full summary as a single JSON document (hand-rolled, no dependencies):
+/// totals, then one object per problem with its per-engine runs.
+void writeJson(const BatchSummary& summary, std::ostream& out);
+
+/// One header row + one row per problem:
+/// name,path,verdict,winner,steps,seconds,latches,inputs,ands,error
+void writeCsv(const BatchSummary& summary, std::ostream& out);
+
+}  // namespace cbq::portfolio

@@ -1,0 +1,123 @@
+#include "portfolio/runner.hpp"
+
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "util/timer.hpp"
+
+namespace cbq::portfolio {
+
+std::vector<std::string> defaultPortfolio() {
+  return {"cbq-reach", "bdd-bwd", "bmc", "k-induction", "hybrid-reach"};
+}
+
+PortfolioRunner::PortfolioRunner(PortfolioOptions opts)
+    : opts_(std::move(opts)) {
+  if (opts_.engines.empty()) opts_.engines = defaultPortfolio();
+  for (const std::string& name : opts_.engines) {
+    if (!mc::makeEngine(name))
+      throw std::invalid_argument("unknown engine: " + name);
+  }
+}
+
+PortfolioResult PortfolioRunner::run(const mc::Network& net) const {
+  util::Timer wall;
+  const std::size_t n = opts_.engines.size();
+
+  PortfolioResult out;
+  out.runs.resize(n);
+
+  // Engine-manager const reads stamp mutable scratch arenas, so every
+  // racing thread owns a private clone, built sequentially up front.
+  std::vector<mc::Network> clones;
+  clones.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) clones.push_back(mc::cloneNetwork(net));
+
+  CancelToken token;
+  const Budget budget(opts_.timeLimitSeconds, opts_.nodeLimit, &token);
+
+  std::mutex mu;
+  int winnerIdx = -1;
+  std::vector<mc::CheckResult> results(n);
+  std::vector<char> wasCancelled(n, 0);
+
+  auto worker = [&](std::size_t i) {
+    auto engine = mc::makeEngine(opts_.engines[i]);
+    mc::CheckResult res;
+    try {
+      res = engine->check(clones[i], budget);
+    } catch (const std::exception&) {
+      // An engine blowing up (e.g. BDD allocation) must not kill the race.
+      res.engine = opts_.engines[i];
+      res.verdict = mc::Verdict::Unknown;
+      res.stats.add("portfolio.engine_exceptions");
+    }
+
+    bool definitive = res.verdict != mc::Verdict::Unknown;
+    if (definitive && opts_.verifyCex &&
+        res.verdict == mc::Verdict::Unsafe && res.cex.has_value() &&
+        !mc::replayHitsBad(clones[i], *res.cex)) {
+      // The independent referee rejected the trace: never report it.
+      res.verdict = mc::Verdict::Unknown;
+      res.stats.add("portfolio.cex_replay_failures");
+      definitive = false;
+    }
+
+    // Sampled before claiming the win: distinguishes "stopped because a
+    // rival won" from "ran to its own Unknown before anyone won".
+    const bool tokenFiredBeforeReturn = token.cancelled();
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      if (definitive && winnerIdx < 0) {
+        winnerIdx = static_cast<int>(i);
+        token.cancel();  // tell every rival to stop
+      }
+      results[i] = std::move(res);
+      wasCancelled[i] = !definitive && tokenFiredBeforeReturn;
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  try {
+    for (std::size_t i = 0; i < n; ++i) threads.emplace_back(worker, i);
+  } catch (const std::system_error&) {
+    // Thread exhaustion mid-fan-out: stop the engines already racing and
+    // settle for their results; never-started engines stay Unknown. The
+    // alternative is a joinable-thread destructor calling std::terminate.
+    token.cancel();
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    EngineRun& run = out.runs[i];
+    run.engine = opts_.engines[i];
+    run.verdict = results[i].verdict;
+    run.steps = results[i].steps;
+    run.seconds = results[i].seconds;
+    run.winner = static_cast<int>(i) == winnerIdx;
+    run.cancelled = wasCancelled[i] != 0;
+    run.stats = results[i].stats;
+  }
+
+  if (winnerIdx >= 0) {
+    out.best = std::move(results[static_cast<std::size_t>(winnerIdx)]);
+    // Definitive losers that disagree with the winner are a soundness bug
+    // in some engine; surface it in the stats rather than hiding it.
+    for (const EngineRun& run : out.runs) {
+      if (!run.winner && run.verdict != mc::Verdict::Unknown &&
+          run.verdict != out.best.verdict)
+        out.best.stats.add("portfolio.verdict_conflicts");
+    }
+  } else {
+    out.best.engine = "portfolio";
+    out.best.verdict = mc::Verdict::Unknown;
+  }
+  out.wallSeconds = wall.seconds();
+  out.best.seconds = out.wallSeconds;
+  return out;
+}
+
+}  // namespace cbq::portfolio

@@ -1,0 +1,76 @@
+#pragma once
+// Parallel engine portfolio — the paper's experimental observation turned
+// into a runtime strategy.
+//
+// No single engine dominates: circuit quantification wins where BDDs blow
+// up (multiplier cones), BDDs win on wide shallow control, BMC finds deep
+// bugs that backward fixpoints crawl towards, induction proves what BMC
+// never can. The PortfolioRunner races a configurable engine set on one
+// problem, each engine on its own thread with its own Network clone; the
+// first definitive verdict (Safe / replay-checked Unsafe) wins and the
+// shared CancelToken tells every rival to stop.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mc/engines.hpp"
+#include "portfolio/budget.hpp"
+
+namespace cbq::portfolio {
+
+struct PortfolioOptions {
+  /// Engine names (mc::engineNames()); empty means defaultPortfolio().
+  std::vector<std::string> engines;
+  double timeLimitSeconds = 0.0;  ///< whole-problem wall budget (0 = none)
+  std::size_t nodeLimit = 0;      ///< per-engine live-node bound (0 = none)
+  /// Replay an Unsafe winner's counterexample before accepting it; a
+  /// failing replay demotes the verdict to Unknown (the engine keeps
+  /// racing rivals instead of poisoning the result).
+  bool verifyCex = true;
+};
+
+/// One engine's contribution to a portfolio run.
+struct EngineRun {
+  std::string engine;
+  mc::Verdict verdict = mc::Verdict::Unknown;
+  int steps = 0;
+  double seconds = 0.0;   ///< the engine's own wall time
+  bool winner = false;
+  bool cancelled = false;  ///< lost the race (token fired before it finished)
+  util::Stats stats;
+};
+
+struct PortfolioResult {
+  /// The winning engine's result; verdict Unknown (engine "portfolio")
+  /// when nobody produced a definitive answer within the budget.
+  mc::CheckResult best;
+  std::vector<EngineRun> runs;  ///< one per engine, in engine-set order
+  double wallSeconds = 0.0;
+
+  [[nodiscard]] const EngineRun* winner() const {
+    for (const EngineRun& r : runs)
+      if (r.winner) return &r;
+    return nullptr;
+  }
+};
+
+/// The default racing set: the paper's engine, both classical baselines,
+/// the bounded methods and the §4 hybrid — one representative per
+/// complementary strength, cheap enough to run side by side.
+std::vector<std::string> defaultPortfolio();
+
+class PortfolioRunner {
+ public:
+  /// Throws std::invalid_argument when an engine name is unknown.
+  explicit PortfolioRunner(PortfolioOptions opts = {});
+
+  /// Races the engine set on `net`. Thread-safe; `net` is cloned per
+  /// engine before any thread starts.
+  [[nodiscard]] PortfolioResult run(const mc::Network& net) const;
+
+ private:
+  PortfolioOptions opts_;
+};
+
+}  // namespace cbq::portfolio

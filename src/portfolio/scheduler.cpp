@@ -1,0 +1,141 @@
+#include "portfolio/scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "circuits/io.hpp"
+#include "util/timer.hpp"
+
+namespace cbq::portfolio {
+
+namespace fs = std::filesystem;
+
+BatchScheduler::BatchScheduler(BatchOptions opts) : opts_(std::move(opts)) {
+  if (opts_.jobs <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    opts_.jobs = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+}
+
+std::vector<std::string> BatchScheduler::collectCircuitFiles(
+    const std::vector<std::string>& paths) {
+  auto isCircuit = [](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".aag" || ext == ".aig" || ext == ".bench";
+  };
+  std::vector<std::string> files;
+  for (const std::string& raw : paths) {
+    const fs::path p(raw);
+    if (fs::is_directory(p)) {
+      std::vector<std::string> here;
+      for (const auto& entry : fs::directory_iterator(p))
+        if (entry.is_regular_file() && isCircuit(entry.path()))
+          here.push_back(entry.path().string());
+      std::sort(here.begin(), here.end());
+      files.insert(files.end(), here.begin(), here.end());
+    } else if (fs::is_regular_file(p)) {
+      files.push_back(raw);
+    } else {
+      throw std::runtime_error("no such file or directory: " + raw);
+    }
+  }
+  return files;
+}
+
+BatchSummary BatchScheduler::runFiles(
+    const std::vector<std::string>& files,
+    const std::function<void(const BatchProblemResult&)>& onResult) const {
+  std::vector<BatchProblem> problems;
+  problems.reserve(files.size());
+  for (const std::string& f : files)
+    problems.push_back({fs::path(f).filename().string(), f, std::nullopt});
+  return run(std::move(problems), onResult);
+}
+
+BatchSummary BatchScheduler::run(
+    std::vector<BatchProblem> problems,
+    const std::function<void(const BatchProblemResult&)>& onResult) const {
+  util::Timer wall;
+  BatchSummary summary;
+  summary.problems.resize(problems.size());
+
+  const PortfolioRunner runner(opts_.portfolio);  // validates engine names
+
+  std::atomic<std::size_t> cursor{0};
+  std::mutex reportMu;
+
+  auto runOne = [&](std::size_t i) {
+    const BatchProblem& job = problems[i];
+    BatchProblemResult r;
+    r.index = i;
+    r.name = job.name;
+    r.path = job.path;
+
+    // One problem's failure — parse error, allocation failure, thread
+    // exhaustion inside the race — must never take down the batch: an
+    // exception escaping a std::thread body would terminate the process.
+    try {
+      const mc::Network* net = nullptr;
+      mc::Network loaded;
+      if (job.net.has_value()) {
+        net = &*job.net;
+      } else {
+        loaded = circuits::readCircuitFile(job.path);
+        net = &loaded;
+      }
+      r.latches = net->numLatches();
+      r.inputs = net->numInputs();
+      r.ands = net->aig.numAnds();
+      PortfolioResult pr = runner.run(*net);
+      r.verdict = pr.best.verdict;
+      r.steps = pr.best.steps;
+      r.seconds = pr.wallSeconds;
+      if (const EngineRun* w = pr.winner()) r.winnerEngine = w->engine;
+      r.runs = std::move(pr.runs);
+    } catch (const std::exception& e) {
+      r.error = e.what();
+      r.verdict = mc::Verdict::Unknown;
+    }
+    summary.problems[i] = std::move(r);
+    if (onResult) {
+      const std::lock_guard<std::mutex> lock(reportMu);
+      onResult(summary.problems[i]);
+    }
+  };
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= problems.size()) return;
+      runOne(i);
+    }
+  };
+
+  const int nWorkers = std::min<int>(
+      opts_.jobs, static_cast<int>(std::max<std::size_t>(problems.size(), 1)));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nWorkers));
+  for (int t = 0; t < nWorkers; ++t) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+
+  for (const BatchProblemResult& r : summary.problems) {
+    if (!r.error.empty()) {
+      ++summary.errors;
+    } else if (r.verdict == mc::Verdict::Safe) {
+      ++summary.safe;
+    } else if (r.verdict == mc::Verdict::Unsafe) {
+      ++summary.unsafe;
+    } else {
+      ++summary.unknown;
+    }
+  }
+  summary.wallSeconds = wall.seconds();
+  return summary;
+}
+
+}  // namespace cbq::portfolio

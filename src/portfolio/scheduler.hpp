@@ -1,0 +1,82 @@
+#pragma once
+// Batch verification service: a work queue of circuit problems fanned out
+// across N worker threads, each problem checked by the engine portfolio.
+//
+// This is the ROADMAP's "directory of HWMCC-style benchmarks as one batch
+// job" layer: jobs are either files on disk (.aag / .aig / .bench, loaded
+// lazily by the worker that claims them) or pre-built in-memory networks
+// (tests, generators). Results land in input order regardless of worker
+// interleaving, so batch output is deterministic modulo per-run timings.
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mc/network.hpp"
+#include "portfolio/runner.hpp"
+
+namespace cbq::portfolio {
+
+/// One unit of batch work. Either `path` names a circuit file, or `net`
+/// holds an already-built network (then `path` is informational only).
+struct BatchProblem {
+  std::string name;
+  std::string path;
+  std::optional<mc::Network> net;
+};
+
+struct BatchOptions {
+  PortfolioOptions portfolio{};
+  int jobs = 0;  ///< worker threads; <= 0 means hardware concurrency
+};
+
+/// Per-problem outcome, in input order.
+struct BatchProblemResult {
+  std::size_t index = 0;
+  std::string name;
+  std::string path;
+  mc::Verdict verdict = mc::Verdict::Unknown;
+  std::string winnerEngine;  ///< empty when no engine was definitive
+  int steps = 0;
+  double seconds = 0.0;  ///< wall time of this problem's portfolio race
+  std::size_t latches = 0, inputs = 0, ands = 0;
+  std::string error;  ///< parse/load failure; verdict stays Unknown
+  std::vector<EngineRun> runs;
+};
+
+struct BatchSummary {
+  std::vector<BatchProblemResult> problems;  ///< input order
+  double wallSeconds = 0.0;
+  int safe = 0, unsafe = 0, unknown = 0, errors = 0;
+};
+
+class BatchScheduler {
+ public:
+  explicit BatchScheduler(BatchOptions opts = {});
+
+  /// Runs every problem; in-memory networks are moved in because each
+  /// worker clones from them. `onResult` (optional) fires once per
+  /// finished problem, serialized under a lock, for live progress output.
+  [[nodiscard]] BatchSummary run(
+      std::vector<BatchProblem> problems,
+      const std::function<void(const BatchProblemResult&)>& onResult =
+          nullptr) const;
+
+  /// Convenience: one BatchProblem per file path.
+  [[nodiscard]] BatchSummary runFiles(
+      const std::vector<std::string>& files,
+      const std::function<void(const BatchProblemResult&)>& onResult =
+          nullptr) const;
+
+  /// Expands directories into their circuit files (.aag/.aig/.bench,
+  /// sorted by name); passes plain files through. Throws
+  /// std::runtime_error when a path does not exist.
+  static std::vector<std::string> collectCircuitFiles(
+      const std::vector<std::string>& paths);
+
+ private:
+  BatchOptions opts_;
+};
+
+}  // namespace cbq::portfolio

@@ -265,6 +265,12 @@ Quantifier::Result Quantifier::quantifyAll(Lit f,
   int retriesLeft = opts_.abortRetries;
   std::vector<VarId> aborted;
   while (!remaining.empty()) {
+    if (opts_.interrupt && opts_.interrupt()) {
+      // Interrupted: everything unprocessed becomes residual.
+      aborted.insert(aborted.end(), remaining.begin(), remaining.end());
+      stats_.add("quant.interrupts");
+      break;
+    }
     // Cheapest-first scheduling.
     const auto counts = dependentCounts(out.f, remaining);
     std::size_t best = 0;

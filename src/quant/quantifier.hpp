@@ -21,8 +21,10 @@
 // finish the job on a formula with far fewer decision variables.
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "aig/aig.hpp"
@@ -44,6 +46,12 @@ struct QuantOptions {
   double growthLimit = 2.0;      ///< abort var when result cone exceeds
   std::size_t growthSlack = 32;  ///<   growthLimit * before + growthSlack
   int abortRetries = 1;          ///< re-attempts of aborted vars at the end
+
+  /// Cooperative stop, polled between variables by quantifyAll: while it
+  /// returns true, unprocessed variables are reported as residual so the
+  /// caller can notice the interruption and bail out. Engines bind this to
+  /// their run Budget (portfolio cancellation / deadline).
+  std::function<bool()> interrupt{};
 };
 
 /// Quantifier bound to one AIG manager. Accumulates statistics across
@@ -51,7 +59,15 @@ struct QuantOptions {
 class Quantifier {
  public:
   explicit Quantifier(aig::Aig& aig, QuantOptions opts = {})
-      : aig_(&aig), opts_(opts) {}
+      : aig_(&aig), opts_(std::move(opts)) {
+    // The per-variable phases run long on hard cones; the interrupt must
+    // reach their inner SAT-check loops, not just the variable schedule.
+    if (opts_.interrupt) {
+      if (!opts_.sweepOpts.interrupt)
+        opts_.sweepOpts.interrupt = opts_.interrupt;
+      if (!opts_.dcOpts.interrupt) opts_.dcOpts.interrupt = opts_.interrupt;
+    }
+  }
 
   /// ∃v.f — full per-variable pipeline. Returns std::nullopt when partial
   /// quantification aborted the variable (result would exceed the growth

@@ -443,8 +443,15 @@ double Solver::luby(double y, int x) {
 
 Status Solver::search(std::int64_t conflictsAllowed) {
   std::int64_t conflictsHere = 0;
+  std::uint32_t steps = 0;
   std::vector<Lit> learnt;
   for (;;) {
+    // Cooperative interrupt: one poll per 256 propagate/decide rounds keeps
+    // the callback cost invisible while bounding cancellation latency.
+    if (interrupt_ && (++steps & 255u) == 0 && interrupt_()) {
+      cancelUntil(0);
+      return Status::Undef;
+    }
     const ClauseRef confl = propagate();
     if (confl != kNoReason) {
       ++conflicts_;
@@ -522,6 +529,7 @@ Status Solver::solveLimited(std::span<const Lit> assumptions,
   int restarts = 0;
   Status st = Status::Undef;
   while (st == Status::Undef) {
+    if (interrupt_ && interrupt_()) break;
     std::int64_t allowed = static_cast<std::int64_t>(
         luby(2.0, restarts) * kRestartBase);
     if (conflictBudget >= 0) {

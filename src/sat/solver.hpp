@@ -16,6 +16,7 @@
 //    cheaply (the sweeping engine treats a budget-out as "unknown").
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -60,6 +61,14 @@ class Solver {
   /// before an answer is found. `budget` < 0 means unlimited.
   Status solveLimited(std::span<const Lit> assumptions,
                       std::int64_t conflictBudget);
+
+  /// Installs a cooperative interrupt: polled every few hundred search
+  /// steps; while it returns true, solve calls return Undef promptly.
+  /// This is how the portfolio runner's cancellation reaches into a
+  /// long-running monolithic solve. Pass nullptr to clear.
+  void setInterrupt(std::function<bool()> callback) {
+    interrupt_ = std::move(callback);
+  }
 
   /// Model value of a literal after a Sat answer.
   [[nodiscard]] LBool modelValue(Lit l) const {
@@ -185,6 +194,7 @@ class Solver {
   std::vector<Lit> assumptions_;
   std::vector<Lit> conflictCore_;
   std::vector<LBool> model_;
+  std::function<bool()> interrupt_;
 
   // Scratch buffers for analyze().
   std::vector<bool> seen_;

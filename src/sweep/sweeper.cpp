@@ -249,7 +249,9 @@ SweepResult sweep(aig::Aig& aig, std::span<const Lit> roots,
     bool constValue = false;
   };
 
-  for (int round = 0; opts.useSat && round < opts.maxRounds; ++round) {
+  bool interrupted = false;
+  for (int round = 0;
+       opts.useSat && !interrupted && round < opts.maxRounds; ++round) {
     ++out.stats.rounds;
 
     // Build candidate classes from the current signatures.
@@ -307,6 +309,7 @@ SweepResult sweep(aig::Aig& aig, std::span<const Lit> roots,
     int cexCount = 0;
 
     for (const std::size_t ci : clsOrder) {
+      if (interrupted) break;
       auto& cls = classes[ci];
       const std::size_t begin = cls.constant ? 0 : 1;
       if (cls.members.size() <= begin) continue;
@@ -317,6 +320,10 @@ SweepResult sweep(aig::Aig& aig, std::span<const Lit> roots,
       if (opts.backward) std::reverse(members.begin(), members.end());
 
       for (const NodeId m : members) {
+        if (opts.interrupt && opts.interrupt()) {
+          interrupted = true;  // rebuild with the merges proven so far
+          break;
+        }
         if (cexCount >= 64) break;  // next round will pick the rest up
         if (mergeMap.contains(m) || disqualified[m] != 0) continue;
 
@@ -369,7 +376,7 @@ SweepResult sweep(aig::Aig& aig, std::span<const Lit> roots,
       }
     }
 
-    if (cexCount == 0) break;  // signatures are stable: no more candidates
+    if (interrupted || cexCount == 0) break;  // stable or stopped early
     sigs.appendWord(cexBits, cexCount, rng);
   }
 

@@ -29,6 +29,7 @@
 // similar (one root-level proof subsumes everything below).
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -46,6 +47,11 @@ struct SweepOptions {
   bool backward = false;          ///< outputs-first compare-point order
   bool learnEquivalences = true;  ///< assert proven merges as clauses
   std::uint64_t seed = 0x5eed;    ///< simulation seed
+
+  /// Cooperative stop, polled once per SAT compare-point check. Sweeping
+  /// is an optimization: when the callback fires, the rounds stop and the
+  /// cones are rebuilt with whatever merges are already proven (sound).
+  std::function<bool()> interrupt{};
 };
 
 struct SweepStats {

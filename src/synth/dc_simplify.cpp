@@ -189,7 +189,8 @@ DcResult dcSimplify(aig::Aig& aig, Lit fRef, Lit fTgt, const DcOptions& opts) {
   aig::NodeMap careMap;
   std::vector<std::uint8_t> disqualified(aig.numNodes(), 0);
 
-  for (int round = 0; round < opts.maxRounds; ++round) {
+  bool interrupted = false;
+  for (int round = 0; !interrupted && round < opts.maxRounds; ++round) {
     const auto targetOrder = sim.targetOrder();
     std::unordered_map<std::string, Lit> repByKey;
     // PIs of the joint support act as merge representatives too.
@@ -201,6 +202,10 @@ DcResult dcSimplify(aig::Aig& aig, Lit fRef, Lit fTgt, const DcOptions& opts) {
     int cexCount = 0;
 
     for (const NodeId n : targetOrder) {
+      if (opts.interrupt && opts.interrupt()) {
+        interrupted = true;  // keep the replacements proven so far
+        break;
+      }
       if (cexCount >= 64) break;
       if (careMap.contains(n) || disqualified[n] != 0) continue;
       const Lit ln(n, false);
@@ -271,10 +276,11 @@ DcResult dcSimplify(aig::Aig& aig, Lit fRef, Lit fTgt, const DcOptions& opts) {
   }
 
   // ----- phase B: ODC attempts, each verified end-to-end ------------------
-  if (opts.useOdc) {
+  if (opts.useOdc && !interrupted) {
     int attempts = 0;
     bool changed = true;
-    while (changed && attempts < opts.odcAttempts) {
+    while (changed && attempts < opts.odcAttempts &&
+           !(opts.interrupt && opts.interrupt())) {
       changed = false;
       Lit current = out.target;
       const Lit curRoots[] = {current};

@@ -23,6 +23,7 @@
 //    unconditionally sound even after earlier rewrites.
 
 #include <cstdint>
+#include <functional>
 #include <span>
 
 #include "aig/aig.hpp"
@@ -36,6 +37,11 @@ struct DcOptions {
   bool useOdc = true;              ///< enable the ODC phase
   int odcAttempts = 48;            ///< max globally-verified ODC trials
   std::uint64_t seed = 0xdc;       ///< simulation seed
+
+  /// Cooperative stop, polled once per SAT query site. Simplification is
+  /// an optimization: when the callback fires, the phases stop early and
+  /// the current (sound) result is returned.
+  std::function<bool()> interrupt{};
 };
 
 struct DcStats {

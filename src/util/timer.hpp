@@ -27,24 +27,8 @@ class Timer {
   Clock::time_point start_;
 };
 
-/// Soft deadline used by engines that honour a time budget.
-/// A budget of zero (default) means "no limit".
-class Deadline {
- public:
-  Deadline() = default;
-  explicit Deadline(double budgetSeconds) : budget_(budgetSeconds) {}
-
-  /// True once the budget has been consumed (never true when unlimited).
-  [[nodiscard]] bool expired() const {
-    return budget_ > 0.0 && timer_.seconds() >= budget_;
-  }
-
-  [[nodiscard]] double budgetSeconds() const { return budget_; }
-  [[nodiscard]] double elapsedSeconds() const { return timer_.seconds(); }
-
- private:
-  Timer timer_;
-  double budget_ = 0.0;
-};
+// (The former util::Deadline lived here; engine time limits now flow
+// through portfolio::Budget so cancellation and deadlines share one
+// cooperative polling path.)
 
 }  // namespace cbq::util

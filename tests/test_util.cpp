@@ -95,16 +95,7 @@ TEST(Timer, RestartResets) {
   EXPECT_LT(t.seconds(), before);
 }
 
-TEST(Deadline, UnlimitedNeverExpires) {
-  util::Deadline d;
-  EXPECT_FALSE(d.expired());
-}
-
-TEST(Deadline, TinyBudgetExpires) {
-  util::Deadline d(1e-9);
-  std::this_thread::sleep_for(std::chrono::milliseconds(1));
-  EXPECT_TRUE(d.expired());
-}
+// Deadline semantics moved to portfolio::Budget (see test_portfolio.cpp).
 
 TEST(Stats, CountersAccumulate) {
   util::Stats s;
