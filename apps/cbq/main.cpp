@@ -45,6 +45,7 @@ struct Args {
   int width = 4;
   bool unsafe = false;
   bool quiet = false;
+  bool smoke = false;
   std::string engine;
   std::vector<std::string> engines;
   std::string output;  // -o
@@ -107,6 +108,8 @@ bool parseArgs(int argc, char** argv, int first, Args& args) {
       const char* v = value("--csv");
       if (!v) return false;
       args.csvPath = v;
+    } else if (a == "--smoke") {
+      args.smoke = true;
     } else if (a == "--unsafe") {
       args.unsafe = true;
     } else if (a == "--safe") {
@@ -140,7 +143,12 @@ int usage() {
       "  cbq gen-suite <dir>\n"
       "      emit the standard suite (all families, safe+unsafe) into dir\n"
       "  cbq engines\n"
-      "      list engine names (* = default portfolio)\n",
+      "      list engine names (* = default portfolio)\n"
+      "  cbq bench [--engine NAME] [--timeout S] [--smoke] [-o FILE]\n"
+      "      run the generated family suite sequentially with one engine\n"
+      "      (default cbq-reach) and write BENCH_reach.json: per-circuit\n"
+      "      wall time, sweeper SAT calls, pair-cache hit rate, solver\n"
+      "      effort; --smoke restricts to a few tiny circuits for CI\n",
       stderr);
   return 1;
 }
@@ -356,6 +364,157 @@ int cmdGenSuite(const Args& args) {
   return 0;
 }
 
+/// `cbq bench`: one engine, sequential, over the generated family suite —
+/// the perf-trajectory harness. Writes a JSON report with per-circuit wall
+/// time, sweeper SAT-call counts, pair-cache hit rate and solver effort,
+/// so successive runs of the binary are comparable ("did the hot loop get
+/// faster, and why").
+int cmdBench(const Args& args) {
+  const std::string engineName =
+      args.engine.empty() ? "cbq-reach" : args.engine;
+  const double timeout = args.timeout > 0.0 ? args.timeout : 60.0;
+  const std::string outPath =
+      args.output.empty() ? "BENCH_reach.json" : args.output;
+  if (!cbq::mc::makeEngine(engineName)) {
+    std::fprintf(stderr, "cbq: unknown engine %s\n", engineName.c_str());
+    return 1;
+  }
+
+  auto instances = cbq::circuits::standardSuite();
+  if (args.smoke) {
+    // CI mode: a few tiny circuits, just enough to exercise the pipeline.
+    std::erase_if(instances, [](const cbq::circuits::Instance& inst) {
+      return !(inst.width <= 3 &&
+               (inst.family == "counter" || inst.family == "gray"));
+    });
+  } else {
+    // Wider-width instances: the standard suite finishes in fractions of
+    // a second, so the perf trajectory is carried by these.
+    static constexpr struct {
+      const char* family;
+      int width;
+    } kHard[] = {{"counter", 10}, {"counter", 12}, {"gray", 6},
+                 {"gray", 7},     {"evencount", 6}, {"evencount", 7},
+                 {"lfsr", 7},     {"lfsr", 8},      {"ring", 10},
+                 {"arbiter", 6},  {"arbiter", 8},   {"queue", 4},
+                 {"queue", 5},    {"mult", 6},      {"mult", 8}};
+    for (const auto& spec : kHard) {
+      for (const bool safe : {true, false}) {
+        instances.push_back(
+            cbq::circuits::makeInstance(spec.family, spec.width, safe));
+      }
+    }
+  }
+
+  struct Row {
+    std::string name;
+    const char* expected;
+    const char* verdict;
+    int steps = 0;
+    double seconds = 0.0;
+    std::int64_t sweepChecks = 0, dcChecks = 0;
+    std::int64_t lookups = 0, hits = 0;
+    std::int64_t conflicts = 0, propagations = 0;
+    std::int64_t recycles = 0, remaps = 0, compactions = 0;
+    bool agree = true;
+  };
+  std::vector<Row> rows;
+  double total = 0.0;
+  int solved = 0;
+  int mismatches = 0;
+
+  for (const auto& inst : instances) {
+    auto engine = cbq::mc::makeEngine(engineName);
+    const cbq::portfolio::Budget budget(timeout);
+    const auto r = engine->check(inst.net, budget);
+
+    Row row;
+    std::ostringstream name;
+    name << inst.family;
+    if (inst.width > 0) name << inst.width;
+    name << (inst.expected == Verdict::Safe ? "_safe" : "_unsafe");
+    row.name = name.str();
+    row.expected = cbq::mc::toString(inst.expected);
+    row.verdict = cbq::mc::toString(r.verdict);
+    row.steps = r.steps;
+    row.seconds = r.seconds;
+    row.sweepChecks = r.stats.count("merge.sat_checks");
+    row.dcChecks = r.stats.count("opt.sat_checks");
+    row.lookups = r.stats.count("sweep.cache_lookups");
+    row.hits = r.stats.count("sweep.cache_hits_proven") +
+               r.stats.count("sweep.cache_hits_refuted");
+    row.conflicts = r.stats.count("sat.conflicts");
+    row.propagations = r.stats.count("sat.propagations");
+    row.recycles = r.stats.count("sweep.session_recycles");
+    row.remaps = r.stats.count("sweep.cache_remaps");
+    row.compactions = r.stats.count("reach.compactions");
+    row.agree = r.verdict == Verdict::Unknown || r.verdict == inst.expected;
+    total += r.seconds;
+    if (r.verdict != Verdict::Unknown) ++solved;
+    if (!row.agree) ++mismatches;
+    if (!args.quiet) {
+      std::printf("%-24s %-8s %8.3fs  sat=%lld dc=%lld cache=%lld/%lld\n",
+                  row.name.c_str(), row.verdict, row.seconds,
+                  static_cast<long long>(row.sweepChecks),
+                  static_cast<long long>(row.dcChecks),
+                  static_cast<long long>(row.hits),
+                  static_cast<long long>(row.lookups));
+      std::fflush(stdout);
+    }
+    rows.push_back(std::move(row));
+  }
+
+  std::ofstream out(outPath);
+  if (!out) {
+    std::fprintf(stderr, "cbq: cannot write %s\n", outPath.c_str());
+    return 1;
+  }
+  const std::int64_t allLookups = [&] {
+    std::int64_t s = 0;
+    for (const Row& r : rows) s += r.lookups;
+    return s;
+  }();
+  const std::int64_t allHits = [&] {
+    std::int64_t s = 0;
+    for (const Row& r : rows) s += r.hits;
+    return s;
+  }();
+  out << "{\n";
+  out << "  \"engine\": \"" << engineName << "\",\n";
+  out << "  \"timeout_seconds\": " << timeout << ",\n";
+  out << "  \"circuits\": " << rows.size() << ",\n";
+  out << "  \"solved\": " << solved << ",\n";
+  out << "  \"verdict_mismatches\": " << mismatches << ",\n";
+  out << "  \"total_seconds\": " << total << ",\n";
+  out << "  \"cache_hit_rate\": "
+      << (allLookups > 0
+              ? static_cast<double>(allHits) / static_cast<double>(allLookups)
+              : 0.0)
+      << ",\n";
+  out << "  \"results\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"name\": \"" << r.name << "\", \"expected\": \""
+        << r.expected << "\", \"verdict\": \"" << r.verdict
+        << "\", \"steps\": " << r.steps << ", \"seconds\": " << r.seconds
+        << ", \"sweeper_sat_checks\": " << r.sweepChecks
+        << ", \"dc_sat_checks\": " << r.dcChecks
+        << ", \"cache_lookups\": " << r.lookups
+        << ", \"cache_hits\": " << r.hits
+        << ", \"conflicts\": " << r.conflicts
+        << ", \"propagations\": " << r.propagations
+        << ", \"session_recycles\": " << r.recycles
+        << ", \"cache_remaps\": " << r.remaps
+        << ", \"compactions\": " << r.compactions << "}";
+  }
+  out << "\n  ]\n}\n";
+
+  std::printf("%zu circuits, %d solved, %d mismatches, %.3fs total -> %s\n",
+              rows.size(), solved, mismatches, total, outPath.c_str());
+  return mismatches == 0 ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -365,6 +524,7 @@ int main(int argc, char** argv) {
   if (!parseArgs(argc, argv, 2, args)) return 1;
 
   if (cmd == "engines") return cmdEngines();
+  if (cmd == "bench") return cmdBench(args);
   if (cmd == "check") return cmdCheck(args);
   if (cmd == "batch") return cmdBatch(args);
   if (cmd == "gen") return cmdGen(args);

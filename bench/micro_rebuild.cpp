@@ -95,7 +95,7 @@ void BM_RebuildWithMerges(benchmark::State& state) {
 BENCHMARK(BM_RebuildWithMerges)->Arg(1000)->Arg(10000);
 
 /// Cross-manager transfer into a fresh manager — the compaction step of
-/// compactEachIteration reachability.
+/// per-iteration-compaction reachability.
 void BM_TransferFresh(benchmark::State& state) {
   Aig g;
   cbq::util::Random rng(43);

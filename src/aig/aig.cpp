@@ -1,6 +1,7 @@
 #include "aig/aig.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <stdexcept>
 
@@ -16,6 +17,10 @@ std::uint64_t negMask(bool negated) {
 }  // namespace
 
 Aig::Aig() {
+  // Process-unique identity (see uid()): a fresh value per constructed
+  // manager; moves carry it along with the node space it describes.
+  static std::atomic<std::uint64_t> nextUid{1};
+  uid_ = nextUid.fetch_add(1, std::memory_order_relaxed);
   // Node 0: the constant-FALSE node.
   nodes_.push_back(Node{kFalse, kFalse, 0});
   stamp_.push_back(0);
@@ -364,6 +369,19 @@ bool Aig::evaluate(Lit root,
 
 std::vector<Lit> Aig::transferFrom(const Aig& src,
                                    std::span<const Lit> roots) {
+  return transferFromImpl(src, roots, nullptr);
+}
+
+std::vector<Lit> Aig::transferFrom(
+    const Aig& src, std::span<const Lit> roots,
+    std::vector<std::pair<NodeId, Lit>>& outMap) {
+  outMap.clear();
+  return transferFromImpl(src, roots, &outMap);
+}
+
+std::vector<Lit> Aig::transferFromImpl(
+    const Aig& src, std::span<const Lit> roots,
+    std::vector<std::pair<NodeId, Lit>>* outMap) {
   if (&src == this) return {roots.begin(), roots.end()};
   memo_.reset(src.nodes_.size());  // keyed by src node ids
 
@@ -379,14 +397,19 @@ std::vector<Lit> Aig::transferFrom(const Aig& src,
     auto [n, expand] = stack.back();
     stack.pop_back();
     if (expand) {
-      memo_.put(n, mkAnd(resultOf(src.fanin0(n)), resultOf(src.fanin1(n))));
+      const Lit l = mkAnd(resultOf(src.fanin0(n)), resultOf(src.fanin1(n)));
+      memo_.put(n, l);
+      if (outMap != nullptr) outMap->emplace_back(n, l);
       continue;
     }
     if (memo_.contains(n)) continue;
     if (src.isConst(n)) {
       memo_.put(n, kFalse);
+      if (outMap != nullptr) outMap->emplace_back(n, kFalse);
     } else if (src.isPi(n)) {
-      memo_.put(n, pi(src.piVar(n)));
+      const Lit l = pi(src.piVar(n));
+      memo_.put(n, l);
+      if (outMap != nullptr) outMap->emplace_back(n, l);
     } else {
       stack.push_back({n, true});
       stack.push_back({src.fanin0(n).node(), false});

@@ -95,6 +95,15 @@ class Aig {
 
   // ----- node inspection ---------------------------------------------
 
+  /// Process-unique identity of this manager's node space. Nodes are
+  /// append-only within one identity, so anything indexed by NodeId (CNF
+  /// encodings, proven-equivalence caches, simulation slots) stays valid
+  /// while uid() is unchanged. Moving a manager moves its identity: after
+  /// `a = std::move(b)`, a.uid() is b's old uid and every cache keyed to
+  /// a's previous uid must be dropped. This is what sweep::SweepContext
+  /// validates its persistent session against.
+  [[nodiscard]] std::uint64_t uid() const { return uid_; }
+
   [[nodiscard]] std::size_t numNodes() const { return nodes_.size(); }
   [[nodiscard]] std::size_t numPis() const { return pis_.size(); }
   [[nodiscard]] std::size_t numAnds() const {
@@ -193,12 +202,25 @@ class Aig {
   /// doubles as compaction into a clean manager.
   std::vector<Lit> transferFrom(const Aig& src, std::span<const Lit> roots);
 
+  /// As above, and additionally records (src NodeId → literal here) for
+  /// every node of the transferred cones in `outMap`. This is how caches
+  /// keyed by the source manager's node ids (e.g. the sweep session's
+  /// proven/refuted pairs) survive a compaction: facts about transferred
+  /// nodes are rewritten through the map, facts about dropped scratch
+  /// nodes are discarded.
+  std::vector<Lit> transferFrom(const Aig& src, std::span<const Lit> roots,
+                                std::vector<std::pair<NodeId, Lit>>& outMap);
+
  private:
   static constexpr Lit kPiMark = Lit::fromRaw(0xffffffffu);
 
   NodeId newNode(Lit f0, Lit f1, std::uint32_t level);
   Lit mkAndRaw(Lit a, Lit b);  // hashing + one-level rules only
   bool tryTwoLevel(Lit a, Lit b, Lit& out);
+
+  std::vector<Lit> transferFromImpl(
+      const Aig& src, std::span<const Lit> roots,
+      std::vector<std::pair<NodeId, Lit>>* outMap);
 
   /// Generic iterative cone rebuild. `leaf(var)` supplies the literal that
   /// replaces the PI with external id `var`; `nodeMap` (optional) replaces
@@ -213,6 +235,7 @@ class Aig {
   [[nodiscard]] bool visited(NodeId n) const { return stamp_[n] == epoch_; }
   void markVisited(NodeId n) const { stamp_[n] = epoch_; }
 
+  std::uint64_t uid_ = 0;
   std::vector<Node> nodes_;
   std::vector<NodeId> pis_;
   std::vector<NodeId> piByVar_;  ///< VarId → PI node id; 0 = no PI yet

@@ -17,10 +17,14 @@ using aig::VarId;
 /// archive manager) is Pre^j(∃i.bad); the initial state lies in
 /// frontiers[d]. One small SAT query per step picks inputs that descend
 /// the frontier chain; latches are stepped by simulation on the original
-/// network.
+/// network. One solver + CNF serves every step: the targets differ but
+/// all live in the archive manager, and each query is phrased purely
+/// through assumptions (target literal + current state values), so the
+/// clause database loads each frontier cone once for the whole descent.
 Trace reconstructTrace(const Network& net, aig::Aig& archive,
                        const std::vector<Lit>& archNext, Lit archBad,
-                       const std::vector<Lit>& frontiers, int d) {
+                       const std::vector<Lit>& frontiers, int d,
+                       util::Stats& stats) {
   std::vector<aig::VarSub> subst;
   subst.reserve(net.stateVars.size());
   for (std::size_t i = 0; i < net.stateVars.size(); ++i)
@@ -29,15 +33,17 @@ Trace reconstructTrace(const Network& net, aig::Aig& archive,
   Trace trace;
   std::unordered_map<VarId, bool> state = net.initAssignment();
 
+  sat::Solver solver;
+  cnf::AigCnf cnf(archive, solver);
+  std::vector<sat::Lit> assumptions;
+
   for (int t = 0; t <= d; ++t) {
     const Lit target =
         t < d ? archive.compose(frontiers[static_cast<std::size_t>(d - 1 - t)],
                                 subst)
               : archBad;
 
-    sat::Solver solver;
-    cnf::AigCnf cnf(archive, solver);
-    std::vector<sat::Lit> assumptions;
+    assumptions.clear();
     assumptions.push_back(cnf.litFor(target));
     for (const auto& [v, value] : state) {
       if (!archive.hasPi(v)) continue;
@@ -47,7 +53,7 @@ Trace reconstructTrace(const Network& net, aig::Aig& archive,
     if (solver.solve(assumptions) != sat::Status::Sat) {
       // By construction this cannot happen; bail out with what we have —
       // the replay referee in the caller/test will flag the bad trace.
-      return trace;
+      break;
     }
 
     std::unordered_map<VarId, bool> inputs;
@@ -64,6 +70,7 @@ Trace reconstructTrace(const Network& net, aig::Aig& archive,
       state = std::move(nextState);
     }
   }
+  sat::exportEffort(stats, solver);
   return trace;
 }
 
@@ -71,7 +78,7 @@ Trace reconstructTrace(const Network& net, aig::Aig& archive,
 
 CheckResult backwardReach(const Network& net, const std::string& engineName,
                           const ReachLimits& limits,
-                          bool compactEachIteration,
+                          const CompactionPolicy& compaction,
                           std::size_t hardConeLimit,
                           const InputEliminator& eliminate,
                           const portfolio::Budget& budget) {
@@ -97,6 +104,20 @@ CheckResult backwardReach(const Network& net, const std::string& engineName,
   };
   std::vector<aig::VarSub> subst = substOf(nextL);
 
+  // The run's persistent sweep sessions, valid until the next compaction
+  // retires the manager's node space. Two databases with very different
+  // shapes: `session` carries the merge/DC compare-point checks (small
+  // cofactor cones, thousands of queries — it is recycled inside sweep()
+  // against the current cone so stale cones never dominate propagation),
+  // while `fixSession` carries the fixpoint implications (one huge
+  // reached-set cone, one query per iteration — encoded incrementally as
+  // the reached set grows). Mixing them would make every compare-point
+  // check propagate through the reached-set encoding.
+  sweep::SweepContext session;
+  session.setInterrupt([&bud] { return bud.exhausted(); });
+  sweep::SweepContext fixSession;
+  fixSession.setInterrupt([&bud] { return bud.exhausted(); });
+
   // Archive manager: frontier history for counterexample reconstruction.
   aig::Aig archive;
   auto movedA = archive.transferFrom(net.aig, roots);
@@ -108,11 +129,13 @@ CheckResult backwardReach(const Network& net, const std::string& engineName,
     res.verdict = v;
     res.steps = steps;
     res.seconds = timer.seconds();
+    session.exportStats(res.stats);
+    fixSession.exportStats(res.stats);
     return res;
   };
 
   // Frontier 0: B = ∃i . bad(s, i).
-  PreImageRequest req{&mgr, badL, &net, &res.stats, &bud};
+  PreImageRequest req{&mgr, badL, &net, &res.stats, &bud, &session};
   const auto b0 = eliminate(req);
   if (!b0) return finish(Verdict::Unknown, 0);
   Lit frontier = *b0;
@@ -144,13 +167,18 @@ CheckResult backwardReach(const Network& net, const std::string& engineName,
     if (!q) return finish(Verdict::Unknown, iter);
     Lit pre = *q;
 
-    // Fixpoint: every pre-image state already reached?
+    // Fixpoint: every pre-image state already reached? Runs in its own
+    // session (fixSession) so the reached-set encoding accretes
+    // incrementally across iterations without ever being propagated
+    // through by the small merge/DC compare-point checks.
     {
-      sat::Solver solver;
-      solver.setInterrupt([&bud] { return bud.exhausted(); });
-      cnf::AigCnf cnf(mgr, solver);
+      fixSession.bind(mgr);
+      const Lit fpRoots[] = {pre, reached};
+      fixSession.recycleIfBloated(mgr.coneSize(fpRoots));
+      fixSession.cnf().focusOn(fpRoots);
       res.stats.add("reach.fixpoint_checks");
-      const cnf::Verdict fp = cnf::checkImplies(cnf, pre, reached);
+      const cnf::Verdict fp =
+          cnf::checkImplies(fixSession.cnf(), pre, reached);
       if (fp == cnf::Verdict::Holds) return finish(Verdict::Safe, iter);
       if (fp == cnf::Verdict::Unknown)  // interrupted mid-solve
         return finish(Verdict::Unknown, iter);
@@ -170,24 +198,34 @@ CheckResult backwardReach(const Network& net, const std::string& engineName,
       break;
     }
 
-    if (compactEachIteration) {
-      // Re-strash every live cone into a fresh manager; scratch nodes from
-      // cofactoring/sweeping are dropped wholesale.
-      aig::Aig fresh;
+    if (compaction.enabled) {
       std::vector<Lit> live{reached, frontier, badL};
       live.insert(live.end(), nextL.begin(), nextL.end());
-      auto mv = fresh.transferFrom(mgr, live);
-      reached = mv[0];
-      frontier = mv[1];
-      badL = mv[2];
-      for (std::size_t i = 0; i < nextL.size(); ++i) nextL[i] = mv[3 + i];
-      mgr = std::move(fresh);
-      subst = substOf(nextL);
+      const std::size_t liveSize = mgr.coneSize(live);
+      if (mgr.numNodes() >= compaction.minNodes &&
+          static_cast<double>(mgr.numNodes()) >
+              compaction.garbageRatio * static_cast<double>(liveSize)) {
+        // Re-strash every live cone into a fresh manager. The transfer
+        // map lets the sweep session carry its proven/refuted pair cache
+        // across the NodeId change; the fixpoint session just rebinds
+        // (it records no pair facts).
+        aig::Aig fresh;
+        std::vector<std::pair<aig::NodeId, Lit>> xfer;
+        auto mv = fresh.transferFrom(mgr, live, xfer);
+        reached = mv[0];
+        frontier = mv[1];
+        badL = mv[2];
+        for (std::size_t i = 0; i < nextL.size(); ++i) nextL[i] = mv[3 + i];
+        mgr = std::move(fresh);
+        subst = substOf(nextL);
+        session.rebindRemapped(mgr, xfer);
+        res.stats.add("reach.compactions");
+      }
     }
   }
 
   res.cex = reconstructTrace(net, archive, archNext, archBad, frontiersArch,
-                             iter);
+                             iter, res.stats);
   res.stats.set("reach.iterations", iter);
   return finish(Verdict::Unsafe, iter);
 }

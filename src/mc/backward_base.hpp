@@ -6,12 +6,21 @@
 // variables from the in-lined pre-image formula; everything else —
 // the fixpoint loop, the frontier archive, counterexample
 // reconstruction, compaction — is identical and lives here.
+//
+// The skeleton owns the run's persistent sweep session (one SAT solver +
+// CNF encoding + proven/refuted pair cache bound to the working manager,
+// see sweep/sweep_context.hpp): the per-engine eliminator receives it via
+// PreImageRequest and threads it into its quantifier, and the fixpoint
+// checks issue their implication queries against the same clause
+// database. Manager compaction is garbage-triggered (CompactionPolicy)
+// instead of unconditional, so the session survives across iterations.
 
 #include <functional>
 #include <optional>
 #include <unordered_map>
 
 #include "mc/engines.hpp"
+#include "sweep/sweep_context.hpp"
 
 namespace cbq::mc::detail {
 
@@ -22,6 +31,7 @@ struct PreImageRequest {
   const Network* net;
   util::Stats* stats;
   const portfolio::Budget* budget;  ///< effective run budget (never null)
+  sweep::SweepContext* session;     ///< run-wide sweep session (never null)
 };
 
 /// Callback: eliminate the inputs from request.formula. Returns
@@ -35,7 +45,7 @@ using InputEliminator =
 /// it, and its node limit applies to the reached-set cone.
 CheckResult backwardReach(const Network& net, const std::string& engineName,
                           const ReachLimits& limits,
-                          bool compactEachIteration,
+                          const CompactionPolicy& compaction,
                           std::size_t hardConeLimit,
                           const InputEliminator& eliminate,
                           const portfolio::Budget& budget);

@@ -54,6 +54,7 @@ CheckResult Bmc::doCheck(const Network& net,
     if (st == sat::Status::Undef) break;  // interrupted mid-solve
   }
   res.stats.set("bmc.conflicts", static_cast<double>(solver.conflicts()));
+  sat::exportEffort(res.stats, solver);
   res.seconds = timer.seconds();
   return res;
 }
@@ -105,11 +106,14 @@ CheckResult KInduction::doCheck(const Network& net,
     }
     const sat::Lit stepAssumptions[] = {step.badLit(k)};
     res.stats.add("ind.step_solves");
-    if (stepSolver.solve(stepAssumptions) == sat::Status::Unsat) {
+    const sat::Status stepSt = stepSolver.solve(stepAssumptions);
+    sat::exportEffort(res.stats, stepSolver);
+    if (stepSt == sat::Status::Unsat) {
       res.verdict = Verdict::Safe;
       break;
     }
   }
+  sat::exportEffort(res.stats, baseSolver);
   res.seconds = timer.seconds();
   return res;
 }

@@ -57,12 +57,29 @@ struct ReachLimits {
   double timeLimitSeconds = 60.0;
 };
 
+/// When and how the backward engines re-strash their working manager into
+/// a fresh one. Compaction drops the scratch nodes that cofactoring and
+/// sweeping leave behind AND re-applies the construction rewrite rules
+/// across the whole live set — measured on the generated suite it shrinks
+/// state-set cones enough that running it every iteration (ratio 0) beats
+/// hoarding nodes. It changes every NodeId, but the sweep session's
+/// proven/refuted pair cache is carried across through the transfer map
+/// (SweepContext::rebindRemapped), so compaction no longer costs the
+/// learned equivalence history — only the solver restarts.
+struct CompactionPolicy {
+  bool enabled = true;
+  /// Compact when manager nodes exceed ratio × live cone nodes ...
+  double garbageRatio = 0.0;
+  /// ... and the manager has at least this many nodes.
+  std::size_t minNodes = 0;
+};
+
 // ----- the paper's engine ---------------------------------------------------
 
 struct CircuitQuantReachOptions {
   quant::QuantOptions quant{};
   ReachLimits limits{};
-  bool compactEachIteration = true;  ///< re-strash state sets per iteration
+  CompactionPolicy compaction{};  ///< garbage-triggered manager re-strash
   std::size_t hardConeLimit = 2'000'000;  ///< give up (Unknown) beyond this
 };
 

@@ -10,6 +10,7 @@
 #include "mc/engines.hpp"
 #include "quant/quantifier.hpp"
 #include "sat/solver.hpp"
+#include "sweep/sweep_context.hpp"
 #include "util/timer.hpp"
 
 namespace cbq::mc {
@@ -127,12 +128,20 @@ CheckResult CircuitQuantForwardReach::doCheck(
   Lit reached = m.initCube;
   Lit frontier = m.initCube;
 
+  // Run-wide persistent sweep session for the bad-intersection and
+  // fixpoint queries: the forward engine never compacts its manager, so
+  // the ring/reached cones encode once and stay. Each query focuses the
+  // solver on its own cone, keeping per-check cost bounded by the live
+  // state sets rather than by the accumulated scratch.
+  sweep::SweepContext session;
+  session.setInterrupt([&bud] { return bud.exhausted(); });
+  session.bind(m.mgr);
+
   auto intersectsBad = [&](Lit stateSet) {
-    sat::Solver solver;
-    solver.setInterrupt([&bud] { return bud.exhausted(); });
-    cnf::AigCnf cnf(m.mgr, solver);
-    return cnf::checkSat(cnf, m.mgr.mkAnd(stateSet, m.bad)) ==
-           cnf::Verdict::Holds;
+    const Lit q = m.mgr.mkAnd(stateSet, m.bad);
+    const Lit qRoots[] = {q};
+    session.cnf().focusOn(qRoots);
+    return cnf::checkSat(session.cnf(), q) == cnf::Verdict::Holds;
   };
 
   int iter = 0;
@@ -156,6 +165,12 @@ CheckResult CircuitQuantForwardReach::doCheck(
     ++iter;
 
     // Image: ∃(s, i) . TR ∧ F — both variable classes at once (§1).
+    // Deliberately NOT the run session: forward images sweep an endless
+    // stream of short-lived scratch cones, and a SAT (refuting) answer in
+    // a monolithic database must assign every accumulated variable — the
+    // per-check cost grows with the run. Throwaway cone-local solvers are
+    // the cheaper trade here; the backward engine, whose queries genuinely
+    // range over the live reached set, is where the session pays off.
     quant::QuantOptions qopts = opts_.quant;
     qopts.interrupt = [&bud] { return bud.exhausted(); };
     quant::Quantifier q(m.mgr, qopts);
@@ -177,11 +192,11 @@ CheckResult CircuitQuantForwardReach::doCheck(
 
     // Fixpoint?
     {
-      sat::Solver solver;
-      solver.setInterrupt([&bud] { return bud.exhausted(); });
-      cnf::AigCnf cnf(m.mgr, solver);
+      const Lit fpRoots[] = {img, reached};
+      session.cnf().focusOn(fpRoots);
       res.stats.add("reach.fixpoint_checks");
-      if (cnf::checkImplies(cnf, img, reached) == cnf::Verdict::Holds) {
+      if (cnf::checkImplies(session.cnf(), img, reached) ==
+          cnf::Verdict::Holds) {
         res.verdict = Verdict::Safe;
         res.steps = iter;
         break;
@@ -192,7 +207,12 @@ CheckResult CircuitQuantForwardReach::doCheck(
     rings.push_back(frontier);
     res.stats.high("reach.max_frontier_cone",
                    static_cast<double>(m.mgr.coneSize(frontier)));
+    {
+      const Lit live[] = {reached, m.tr, m.bad};
+      session.recycleIfBloated(m.mgr.coneSize(live));
+    }
   }
+  session.exportStats(res.stats);
   res.seconds = timer.seconds();
   return res;
 }

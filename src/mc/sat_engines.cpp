@@ -34,21 +34,32 @@ std::optional<Lit> allSatEliminate(aig::Aig& mgr, Lit f,
   }
   if (live.empty() || f.isConstant()) return f;
 
+  // The blocking clauses asserted below are only valid inside this
+  // enumeration, so this is the one elimination routine that cannot share
+  // the run's persistent session solver; it still reports its effort.
   sat::Solver solver;
   solver.setInterrupt([&budget] { return budget.exhausted(); });
   cnf::AigCnf cnf(mgr, solver);
   const sat::Lit target = cnf.litFor(f);
+  const auto exportEffort = [&] { sat::exportEffort(stats, solver); };
 
   Lit result = aig::kFalse;
   int count = 0;
   for (;;) {
-    if (budget.exhausted()) return std::nullopt;
+    if (budget.exhausted()) {
+      exportEffort();
+      return std::nullopt;
+    }
     const sat::Lit assumptions[] = {target};
     const sat::Status st = solver.solve(assumptions);
     if (st == sat::Status::Unsat) break;
-    if (st == sat::Status::Undef) return std::nullopt;  // interrupted
+    if (st == sat::Status::Undef) {  // interrupted
+      exportEffort();
+      return std::nullopt;
+    }
     if (++count > maxEnum) {
       stats.add("allsat.enum_overflow");
+      exportEffort();
       return std::nullopt;
     }
     // Circuit cofactoring (Ganai et al. [2]): substitute the model's
@@ -63,6 +74,7 @@ std::optional<Lit> allSatEliminate(aig::Aig& mgr, Lit f,
     solver.addClause({!cnf.litFor(cube)});
     stats.add("allsat.enumerations");
   }
+  exportEffort();
   return result;
 }
 
@@ -74,6 +86,7 @@ CheckResult CircuitQuantReach::doCheck(const Network& net,
       [&](const detail::PreImageRequest& req) -> std::optional<Lit> {
     quant::QuantOptions qopts = opts_.quant;
     qopts.interrupt = [b = req.budget] { return b->exhausted(); };
+    qopts.context = req.session;  // run-wide clause database + pair cache
     quant::Quantifier q(*req.mgr, qopts);
     auto r = q.quantifyAll(req.formula, net.inputVars);
     Lit f = r.f;
@@ -90,8 +103,8 @@ CheckResult CircuitQuantReach::doCheck(const Network& net,
     return f;
   };
   return detail::backwardReach(net, name(), opts_.limits,
-                               opts_.compactEachIteration,
-                               opts_.hardConeLimit, eliminate, budget);
+                               opts_.compaction, opts_.hardConeLimit,
+                               eliminate, budget);
 }
 
 CheckResult AllSatPreimageReach::doCheck(const Network& net,
@@ -101,8 +114,7 @@ CheckResult AllSatPreimageReach::doCheck(const Network& net,
     return allSatEliminate(*req.mgr, req.formula, net.inputVars,
                            opts_.maxEnumPerImage, *req.stats, *req.budget);
   };
-  return detail::backwardReach(net, name(), opts_.limits,
-                               /*compactEachIteration=*/true,
+  return detail::backwardReach(net, name(), opts_.limits, CompactionPolicy{},
                                /*hardConeLimit=*/2'000'000, eliminate,
                                budget);
 }
@@ -115,6 +127,7 @@ CheckResult HybridReach::doCheck(const Network& net,
     // eliminated, blow-up-prone ones abort and stay.
     quant::QuantOptions qopts = opts_.quant;
     qopts.interrupt = [b = req.budget] { return b->exhausted(); };
+    qopts.context = req.session;  // shared with the fixpoint checks
     quant::Quantifier q(*req.mgr, qopts);
     auto r = q.quantifyAll(req.formula, net.inputVars);
     req.stats->merge(q.stats());
@@ -125,8 +138,7 @@ CheckResult HybridReach::doCheck(const Network& net,
     return allSatEliminate(*req.mgr, r.f, r.residual, opts_.maxEnumPerImage,
                            *req.stats, *req.budget);
   };
-  return detail::backwardReach(net, name(), opts_.limits,
-                               /*compactEachIteration=*/true,
+  return detail::backwardReach(net, name(), opts_.limits, CompactionPolicy{},
                                /*hardConeLimit=*/2'000'000, eliminate,
                                budget);
 }

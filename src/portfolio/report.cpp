@@ -95,7 +95,21 @@ void writeJson(const BatchSummary& summary, std::ostream& out) {
           << "\"steps\": " << r.steps << ", "
           << "\"seconds\": " << jsonNumber(r.seconds) << ", "
           << "\"winner\": " << (r.winner ? "true" : "false") << ", "
-          << "\"cancelled\": " << (r.cancelled ? "true" : "false") << "}";
+          << "\"cancelled\": " << (r.cancelled ? "true" : "false") << ", "
+          << "\"propagations\": " << r.stats.count("sat.propagations")
+          << ", "
+          << "\"decisions\": " << r.stats.count("sat.decisions") << ", "
+          << "\"conflicts\": " << r.stats.count("sat.conflicts") << ", "
+          << "\"sweep_sat_checks\": "
+          << (r.stats.count("merge.sat_checks") +
+              r.stats.count("opt.sat_checks"))
+          << ", "
+          << "\"cache_lookups\": " << r.stats.count("sweep.cache_lookups")
+          << ", "
+          << "\"cache_hits\": "
+          << (r.stats.count("sweep.cache_hits_proven") +
+              r.stats.count("sweep.cache_hits_refuted"))
+          << "}";
     }
     out << "]}";
   }
@@ -103,12 +117,21 @@ void writeJson(const BatchSummary& summary, std::ostream& out) {
 }
 
 void writeCsv(const BatchSummary& summary, std::ostream& out) {
-  out << "name,path,verdict,winner,steps,seconds,latches,inputs,ands,error\n";
+  out << "name,path,verdict,winner,steps,seconds,latches,inputs,ands,"
+         "propagations,decisions,conflicts,error\n";
   for (const BatchProblemResult& p : summary.problems) {
+    // Effort columns aggregate over every engine that ran on the problem.
+    std::int64_t props = 0, decs = 0, confs = 0;
+    for (const EngineRun& r : p.runs) {
+      props += r.stats.count("sat.propagations");
+      decs += r.stats.count("sat.decisions");
+      confs += r.stats.count("sat.conflicts");
+    }
     out << csvField(p.name) << ',' << csvField(p.path) << ','
         << mc::toString(p.verdict) << ',' << csvField(p.winnerEngine) << ','
         << p.steps << ',' << jsonNumber(p.seconds) << ',' << p.latches << ','
-        << p.inputs << ',' << p.ands << ',' << csvField(p.error) << '\n';
+        << p.inputs << ',' << p.ands << ',' << props << ',' << decs << ','
+        << confs << ',' << csvField(p.error) << '\n';
   }
 }
 

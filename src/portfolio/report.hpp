@@ -12,8 +12,10 @@ namespace cbq::portfolio {
 /// totals, then one object per problem with its per-engine runs.
 void writeJson(const BatchSummary& summary, std::ostream& out);
 
-/// One header row + one row per problem:
-/// name,path,verdict,winner,steps,seconds,latches,inputs,ands,error
+/// One header row + one row per problem (effort columns aggregate the
+/// solver counters of every engine that ran):
+/// name,path,verdict,winner,steps,seconds,latches,inputs,ands,
+/// propagations,decisions,conflicts,error
 void writeCsv(const BatchSummary& summary, std::ostream& out);
 
 }  // namespace cbq::portfolio

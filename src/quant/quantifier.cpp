@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "sweep/sweep_context.hpp"
 #include "util/var_table.hpp"
 
 namespace cbq::quant {
@@ -147,12 +148,37 @@ std::optional<Lit> Quantifier::quantifyVarImpl(Lit f, VarId v,
                static_cast<std::int64_t>(swept.stats.constMerges));
     stats_.add("merge.sat_checks",
                static_cast<std::int64_t>(swept.stats.satChecks));
+    stats_.add("merge.sat_refuted",
+               static_cast<std::int64_t>(swept.stats.satRefuted));
+    stats_.add("merge.sat_unknown",
+               static_cast<std::int64_t>(swept.stats.satUnknown));
+    stats_.add("merge.cache_hits_proven",
+               static_cast<std::int64_t>(swept.stats.cacheHitsProven));
+    stats_.add("merge.cache_hits_refuted",
+               static_cast<std::int64_t>(swept.stats.cacheHitsRefuted));
     if (f0 == f1) return f0;
     if (f0 == !f1) return aig::kTrue;
   }
 
-  // ----- optimization phase (§2.2) -----------------------------------------
-  if (opts_.optPhase && !f0.isConstant() && !f1.isConstant()) {
+  // ----- optimization phase (§2.2), adaptively scheduled -------------------
+  auto buildResult = [&](Lit a, Lit b) {
+    Lit r = aig_->mkOr(a, b);
+    if (opts_.rewriteResult) {
+      const Lit roots[] = {r};
+      r = synth::rewrite(*aig_, roots).front();
+    }
+    return r;
+  };
+
+  bool needOpt = opts_.optPhase && !f0.isConstant() && !f1.isConstant();
+  if (needOpt && opts_.optPhaseAdaptive && opts_.context != nullptr &&
+      !opts_.context->shouldAttemptDc()) {
+    // The run's feedback says DC proofs have not been shrinking cones on
+    // this workload — skip the phase (periodic re-probes keep it honest).
+    needOpt = false;
+    stats_.add("opt.skipped_feedback");
+  }
+  if (needOpt) {
     // Use f1's onset as DCs for f0, then the simplified f0's onset for f1.
     const auto r0 = synth::dcSimplify(*aig_, /*fRef=*/f1, /*fTgt=*/f0,
                                       opts_.dcOpts);
@@ -160,6 +186,12 @@ std::optional<Lit> Quantifier::quantifyVarImpl(Lit f, VarId v,
     const auto r1 = synth::dcSimplify(*aig_, /*fRef=*/f0, /*fTgt=*/f1,
                                       opts_.dcOpts);
     f1 = r1.target;
+    if (opts_.context != nullptr) {
+      opts_.context->noteDcOutcome(r0.stats.nodesBefore,
+                                   r0.stats.nodesAfter);
+      opts_.context->noteDcOutcome(r1.stats.nodesBefore,
+                                   r1.stats.nodesAfter);
+    }
     for (const auto* r : {&r0, &r1}) {
       stats_.add("opt.const_repl",
                  static_cast<std::int64_t>(r->stats.constReplacements));
@@ -169,14 +201,13 @@ std::optional<Lit> Quantifier::quantifyVarImpl(Lit f, VarId v,
                  static_cast<std::int64_t>(r->stats.odcReplacements));
       stats_.add("opt.sat_checks",
                  static_cast<std::int64_t>(r->stats.satChecks));
+      stats_.add("opt.sat_refuted",
+                 static_cast<std::int64_t>(r->stats.satRefuted));
+      stats_.add("opt.sat_unknown",
+                 static_cast<std::int64_t>(r->stats.satUnknown));
     }
   }
-
-  Lit result = aig_->mkOr(f0, f1);
-  if (opts_.rewriteResult) {
-    const Lit roots[] = {result};
-    result = synth::rewrite(*aig_, roots).front();
-  }
+  Lit result = buildResult(f0, f1);
   if (opts_.finalSweep && !result.isConstant()) {
     const Lit roots[] = {result};
     result = sweep::sweep(*aig_, roots, opts_.sweepOpts).roots.front();

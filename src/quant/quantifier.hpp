@@ -38,6 +38,16 @@ struct QuantOptions {
   bool useSubstitution = true;   ///< §3 in-lining fast path (see below)
   bool mergePhase = true;        ///< enable §2.1 (sweeping of the cofactors)
   bool optPhase = true;          ///< enable §2.2 (DC-based simplification)
+
+  /// Adaptive §2.2 scheduling, driven by measured benefit: every
+  /// dcSimplify call reports its shrink ratio to the run's SweepContext;
+  /// once the running average shows the DC phase is not reducing cones
+  /// (multiplier-style workloads, where each proof is expensive and buys
+  /// nothing), the phase is skipped except for periodic re-probes. On
+  /// blow-up-prone families (counters, queues) the ratio stays low and
+  /// the full machinery runs every time. Requires `context`; without a
+  /// session the phase always runs (the pre-session behaviour).
+  bool optPhaseAdaptive = true;
   bool rewriteResult = true;     ///< structural cleanup of the disjunction
   bool finalSweep = false;       ///< extra sweep of F0 ∨ F1 (category-2 opt)
   sweep::SweepOptions sweepOpts{};
@@ -52,6 +62,14 @@ struct QuantOptions {
   /// caller can notice the interruption and bail out. Engines bind this to
   /// their run Budget (portfolio cancellation / deadline).
   std::function<bool()> interrupt{};
+
+  /// Persistent sweep session shared by every merge-phase sweep and every
+  /// DC simplification this quantifier performs (and, when the engine owns
+  /// the context, by all its quantifiers and fixpoint checks across a
+  /// whole reachability run). Propagated into sweepOpts.context /
+  /// dcOpts.context by the Quantifier constructor unless those are already
+  /// set. Null = per-call throwaway solvers (the pre-session behaviour).
+  sweep::SweepContext* context = nullptr;
 };
 
 /// Quantifier bound to one AIG manager. Accumulates statistics across
@@ -66,6 +84,13 @@ class Quantifier {
       if (!opts_.sweepOpts.interrupt)
         opts_.sweepOpts.interrupt = opts_.interrupt;
       if (!opts_.dcOpts.interrupt) opts_.dcOpts.interrupt = opts_.interrupt;
+    }
+    // One session for every sweep and DC pass of this quantifier.
+    if (opts_.context != nullptr) {
+      if (opts_.sweepOpts.context == nullptr)
+        opts_.sweepOpts.context = opts_.context;
+      if (opts_.dcOpts.context == nullptr)
+        opts_.dcOpts.context = opts_.context;
     }
   }
 

@@ -1,12 +1,13 @@
 #include "sweep/sweeper.hpp"
 
 #include <algorithm>
-#include <string>
 #include <unordered_map>
 
 #include "bdd/bdd.hpp"
 #include "cnf/aig_cnf.hpp"
 #include "sat/solver.hpp"
+#include "sweep/signatures.hpp"
+#include "sweep/sweep_context.hpp"
 #include "util/random.hpp"
 
 namespace cbq::sweep {
@@ -16,100 +17,6 @@ namespace {
 using aig::Lit;
 using aig::NodeId;
 using aig::VarId;
-
-std::uint64_t negMask(bool b) { return b ? ~std::uint64_t{0} : 0; }
-
-/// Multi-word signatures for every node in the cone. PI patterns are kept
-/// in flat vectors parallel to the (sorted) support array — no per-lookup
-/// hashing anywhere on the resimulation path.
-class Signatures {
- public:
-  Signatures(const aig::Aig& aig, std::span<const NodeId> order,
-             std::span<const VarId> support, util::Random& rng, int words)
-      : aig_(&aig),
-        order_(order.begin(), order.end()),
-        support_(support.begin(), support.end()),
-        piWords_(support.size()) {
-    for (auto& w : piWords_) {
-      w.resize(static_cast<std::size_t>(words));
-      for (auto& x : w) x = rng.next64();
-    }
-    resimulate();
-  }
-
-  /// Appends one simulation word per PI: bit j of `cexBits[i]` (parallel
-  /// to the support array) is the j-th stored counterexample value;
-  /// unused bits are random noise.
-  void appendWord(std::span<const std::uint64_t> cexBits, int cexCount,
-                  util::Random& rng) {
-    const std::uint64_t keepMask =
-        cexCount >= 64 ? ~std::uint64_t{0}
-                       : ((std::uint64_t{1} << cexCount) - 1);
-    for (std::size_t i = 0; i < piWords_.size(); ++i) {
-      std::uint64_t word = rng.next64() & ~keepMask;
-      word |= cexBits[i] & keepMask;
-      piWords_[i].push_back(word);
-    }
-    resimulate();
-  }
-
-  [[nodiscard]] const std::vector<std::uint64_t>& of(NodeId n) const {
-    return sig_[n];
-  }
-
-  /// Complement-normalized signature as an exact hash key, plus the phase
-  /// that was applied (true = signature was complemented).
-  [[nodiscard]] std::pair<std::string, bool> normalizedKey(NodeId n) const {
-    const auto& s = sig_[n];
-    const bool phase = (s[0] & 1) != 0;
-    std::string key;
-    key.reserve(s.size() * sizeof(std::uint64_t));
-    for (std::uint64_t w : s) {
-      if (phase) w = ~w;
-      key.append(reinterpret_cast<const char*>(&w), sizeof(w));
-    }
-    return {std::move(key), phase};
-  }
-
-  [[nodiscard]] bool allZero(NodeId n) const {
-    for (const std::uint64_t w : sig_[n])
-      if (w != 0) return false;
-    return true;
-  }
-  [[nodiscard]] bool allOne(NodeId n) const {
-    for (const std::uint64_t w : sig_[n])
-      if (w != ~std::uint64_t{0}) return false;
-    return true;
-  }
-
- private:
-  void resimulate() {
-    const std::size_t words =
-        piWords_.empty() ? 1 : piWords_.front().size();
-    sig_.assign(aig_->numNodes(), {});
-    sig_[0].assign(words, 0);  // constant node
-    for (std::size_t i = 0; i < support_.size(); ++i)
-      sig_[aig_->piNodeOf(support_[i])] = piWords_[i];
-    for (const NodeId n : order_) {
-      const Lit f0 = aig_->fanin0(n);
-      const Lit f1 = aig_->fanin1(n);
-      auto& out = sig_[n];
-      out.resize(words);
-      const auto& a = sig_[f0.node()];
-      const auto& b = sig_[f1.node()];
-      for (std::size_t w = 0; w < words; ++w) {
-        out[w] = (a[w] ^ negMask(f0.negated())) &
-                 (b[w] ^ negMask(f1.negated()));
-      }
-    }
-  }
-
-  const aig::Aig* aig_;
-  std::vector<NodeId> order_;
-  std::vector<VarId> support_;
-  std::vector<std::vector<std::uint64_t>> piWords_;  // parallel to support_
-  std::vector<std::vector<std::uint64_t>> sig_;
-};
 
 /// Nodes reachable from `roots` when merges in `mergeMap` are applied —
 /// backward mode skips compare points that merging has already detached.
@@ -135,6 +42,31 @@ std::vector<std::uint8_t> referencedNodes(const aig::Aig& aig,
   return seen;
 }
 
+/// Dense union-find over pool slots with path halving. Classes are always
+/// rooted at their earliest (pool-order, hence topologically first)
+/// member, so merge targets stay acyclic.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i)
+      parent_[i] = static_cast<std::uint32_t>(i);
+  }
+  std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  /// Attaches `later`'s tree under `earlier`'s root (earlier < later).
+  void unite(std::uint32_t earlier, std::uint32_t later) {
+    parent_[find(later)] = find(earlier);
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+};
+
 }  // namespace
 
 SweepResult sweep(aig::Aig& aig, std::span<const Lit> roots,
@@ -150,7 +82,9 @@ SweepResult sweep(aig::Aig& aig, std::span<const Lit> roots,
   const auto support = aig.supportVars(roots);
 
   util::Random rng(opts.seed);
-  Signatures sigs(aig, order, support, rng, std::max(opts.numWords, 1));
+  const int initialWords = std::max(opts.numWords, 1);
+  Signatures sigs(aig, order, support, rng, initialWords,
+                  initialWords + std::max(opts.maxRounds, 0));
 
   // Candidate pool: PIs first (they can only be representatives), then AND
   // nodes in topological order, so every merge points at a topologically
@@ -164,6 +98,16 @@ SweepResult sweep(aig::Aig& aig, std::span<const Lit> roots,
   // node-indexed scratch vectors stay correctly sized for the whole run.
   aig::NodeMap mergeMap;
   std::vector<std::uint8_t> disqualified(aig.numNodes(), 0);
+
+  // Persistent session: shared solver + CNF + pair cache when the caller
+  // provides one, private throwaway session otherwise. A clause database
+  // that has grown far beyond this sweep's own cone would make every
+  // check below propagate through stale cones — recycle it first (the
+  // pair cache survives; it is what carries the cross-call wins).
+  SweepContext localCtx;
+  SweepContext* ctx = opts.context != nullptr ? opts.context : &localCtx;
+  ctx->bind(aig);
+  ctx->recycleIfBloated(order.size() + support.size());
 
   // ----- layer 2: BDD sweeping -------------------------------------------
   if (opts.useBdd && opts.bddNodeLimit > 0) {
@@ -196,19 +140,24 @@ SweepResult sweep(aig::Aig& aig, std::span<const Lit> roots,
         // This cone is too wide for the budget; fanouts drop out too.
       }
     }
-    // Pointer-equality detection (modulo complement) in pool order.
+    // Pointer-equality detection (modulo complement) in pool order. Every
+    // merge is a proven equivalence — feed the session's pair cache so a
+    // later round (or call) whose BDD layer blows the limit still knows.
     std::unordered_map<bdd::BddRef, Lit> bddRep;
     for (const NodeId n : pool) {
       if (!hasBdd[n]) continue;
       const bdd::BddRef b = nodeBdd[n];
       if (aig.isAnd(n)) {
         if (b == bdd::kFalseBdd || b == bdd::kTrueBdd) {
-          mergeMap.set(n, b == bdd::kTrueBdd ? aig::kTrue : aig::kFalse);
+          const Lit target = b == bdd::kTrueBdd ? aig::kTrue : aig::kFalse;
+          mergeMap.set(n, target);
+          ctx->recordProven(Lit(n, false), target);
           ++out.stats.constMerges;
           continue;
         }
         if (auto it = bddRep.find(b); it != bddRep.end()) {
           mergeMap.set(n, it->second);
+          ctx->recordProven(Lit(n, false), it->second);
           ++out.stats.bddMerges;
           continue;
         }
@@ -221,6 +170,7 @@ SweepResult sweep(aig::Aig& aig, std::span<const Lit> roots,
         }
         if (auto it = bddRep.find(nb); it != bddRep.end()) {
           mergeMap.set(n, !it->second);
+          ctx->recordProven(Lit(n, false), !it->second);
           ++out.stats.bddMerges;
           continue;
         }
@@ -230,8 +180,13 @@ SweepResult sweep(aig::Aig& aig, std::span<const Lit> roots,
   }
 
   // ----- layer 3: SAT sweeping with cex-guided refinement ------------------
-  sat::Solver solver;
-  cnf::AigCnf cnf(aig, solver);
+  cnf::AigCnf& cnf = ctx->cnf();
+  sat::Solver& solver = ctx->solver();
+  // Every compare point lives inside the cones of `roots`, and the manager
+  // does not grow before the final rebuild — one focus call covers every
+  // check of this sweep even when the session's database holds the whole
+  // run's history.
+  if (opts.useSat) cnf.focusOn(roots);
 
   auto learn = [&](Lit a, Lit b) {
     if (!opts.learnEquivalences) return;
@@ -249,25 +204,42 @@ SweepResult sweep(aig::Aig& aig, std::span<const Lit> roots,
     bool constValue = false;
   };
 
+  // Per-slot normalization phase, valid for the current round's classes.
+  std::vector<std::uint8_t> phaseOf(pool.size(), 0);
+
+  // NodeId → pool slot, built once (the pool is fixed across rounds).
+  constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  std::vector<std::uint32_t> slotOf(aig.numNodes(), kNoSlot);
+  for (std::uint32_t slot = 0; slot < pool.size(); ++slot)
+    slotOf[pool[slot]] = slot;
+
   bool interrupted = false;
   for (int round = 0;
        opts.useSat && !interrupted && round < opts.maxRounds; ++round) {
     ++out.stats.rounds;
 
-    // Build candidate classes from the current signatures.
-    std::unordered_map<std::string, std::size_t> classIndex;
-    std::vector<EquivClass> classes;
+    // Build candidate classes from the current signatures: a dense
+    // union-find over pool slots keyed by 64-bit mixed hashes, with exact
+    // signature comparison refereeing hash collisions.
     std::vector<std::uint8_t> referenced;
     if (opts.backward) referenced = referencedNodes(aig, roots, mergeMap);
 
-    for (const NodeId n : pool) {
+    UnionFind uf(pool.size());
+    // hash -> slots of class leaders with that hash (collision chain).
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> leaders;
+    leaders.reserve(pool.size());
+    std::vector<EquivClass> classes;
+    std::vector<std::uint8_t> active(pool.size(), 0);
+
+    for (std::uint32_t slot = 0; slot < pool.size(); ++slot) {
+      const NodeId n = pool[slot];
       if (mergeMap.contains(n) || disqualified[n] != 0) continue;
       if (opts.backward && referenced[n] == 0) {
         if (aig.isAnd(n)) ++out.stats.skippedUnreferenced;
         continue;
       }
       if (aig.isAnd(n) && (sigs.allZero(n) || sigs.allOne(n))) {
-        // Candidate constant node.
+        // Candidate constant node: its own single-member class.
         EquivClass cls;
         cls.rep = sigs.allOne(n) ? aig::kTrue : aig::kFalse;
         cls.members = {n};
@@ -277,21 +249,37 @@ SweepResult sweep(aig::Aig& aig, std::span<const Lit> roots,
         classes.push_back(std::move(cls));
         continue;
       }
-      auto [key, phase] = sigs.normalizedKey(n);
-      if (auto it = classIndex.find(key); it != classIndex.end()) {
-        auto& cls = classes[it->second];
-        // Member literal must equal rep ^ relativePhase; rep was stored
-        // with its own normalization phase folded in.
-        cls.members.push_back(n);
-        cls.maxLevel = std::max(cls.maxLevel, aig.level(n));
-      } else {
+      const Signatures::Key key = sigs.normalizedKey(n);
+      phaseOf[slot] = key.phase ? 1 : 0;
+      active[slot] = 1;
+      auto& chain = leaders[key.hash];
+      bool matched = false;
+      for (const std::uint32_t leader : chain) {
+        if (sigs.equalNormalized(n, key.phase, pool[leader],
+                                 phaseOf[leader] != 0)) {
+          uf.unite(leader, slot);
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) chain.push_back(slot);
+    }
+
+    // Gather union-find trees into member lists (pool order ⇒ members are
+    // topologically ordered and the root is the earliest).
+    std::unordered_map<std::uint32_t, std::size_t> classOfRoot;
+    for (std::uint32_t slot = 0; slot < pool.size(); ++slot) {
+      if (active[slot] == 0) continue;
+      const std::uint32_t root = uf.find(slot);
+      auto [it, inserted] = classOfRoot.emplace(root, classes.size());
+      if (inserted) {
         EquivClass cls;
-        cls.rep = Lit(n, false) ^ phase;  // normalized function
-        cls.members = {n};
-        cls.maxLevel = aig.level(n);
-        classIndex.emplace(std::move(key), classes.size());
+        cls.rep = Lit(pool[root], false) ^ (phaseOf[root] != 0);
         classes.push_back(std::move(cls));
       }
+      auto& cls = classes[it->second];
+      cls.members.push_back(pool[slot]);
+      cls.maxLevel = std::max(cls.maxLevel, aig.level(pool[slot]));
     }
 
     // Processing order: forward = natural (class of earliest rep first);
@@ -327,16 +315,41 @@ SweepResult sweep(aig::Aig& aig, std::span<const Lit> roots,
         if (cexCount >= 64) break;  // next round will pick the rest up
         if (mergeMap.contains(m) || disqualified[m] != 0) continue;
 
-        cnf::Verdict verdict;
         Lit target;
         if (cls.constant) {
-          verdict = cnf::checkConstant(cnf, Lit(m, false), cls.constValue,
-                                       opts.satBudget);
           target = cls.constValue ? aig::kTrue : aig::kFalse;
         } else {
           // Relative phase of m against the normalized class function.
-          auto [key, phase] = sigs.normalizedKey(m);
-          target = cls.rep ^ phase;
+          target = cls.rep ^ (phaseOf[slotOf[m]] != 0);
+        }
+
+        // Session pair cache first: facts proven or refuted in ANY earlier
+        // round/call on this manager skip the solver entirely.
+        switch (ctx->lookupPair(Lit(m, false), target)) {
+          case SweepContext::PairFact::Proven: {
+            mergeMap.set(m, target);
+            ++out.stats.cacheHitsProven;
+            if (cls.constant)
+              ++out.stats.constMerges;
+            else
+              ++out.stats.satMerges;
+            continue;
+          }
+          case SweepContext::PairFact::Refuted:
+            // Not equivalent — and the distinguishing pattern was already
+            // folded into some earlier signature word, so no re-split is
+            // needed; just leave m unmerged.
+            ++out.stats.cacheHitsRefuted;
+            continue;
+          case SweepContext::PairFact::Unknown:
+            break;
+        }
+
+        cnf::Verdict verdict;
+        if (cls.constant) {
+          verdict = cnf::checkConstant(cnf, Lit(m, false), cls.constValue,
+                                       opts.satBudget);
+        } else {
           verdict =
               cnf::checkEquiv(cnf, Lit(m, false), target, opts.satBudget);
         }
@@ -345,6 +358,7 @@ SweepResult sweep(aig::Aig& aig, std::span<const Lit> roots,
         switch (verdict) {
           case cnf::Verdict::Holds: {
             mergeMap.set(m, target);
+            ctx->recordProven(Lit(m, false), target);
             if (cls.constant) {
               ++out.stats.constMerges;
               if (opts.learnEquivalences) {
@@ -360,6 +374,7 @@ SweepResult sweep(aig::Aig& aig, std::span<const Lit> roots,
           }
           case cnf::Verdict::Fails: {
             ++out.stats.satRefuted;
+            ctx->recordRefuted(Lit(m, false), target);
             for (std::size_t i = 0; i < support.size(); ++i) {
               const std::uint64_t bit = cnf.modelOf(support[i]) ? 1 : 0;
               cexBits[i] |= bit << cexCount;

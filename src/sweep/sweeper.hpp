@@ -37,6 +37,8 @@
 
 namespace cbq::sweep {
 
+class SweepContext;
+
 struct SweepOptions {
   int numWords = 2;               ///< initial random simulation words/node
   int maxRounds = 16;             ///< refinement round limit
@@ -52,6 +54,12 @@ struct SweepOptions {
   /// is an optimization: when the callback fires, the rounds stop and the
   /// cones are rebuilt with whatever merges are already proven (sound).
   std::function<bool()> interrupt{};
+
+  /// Persistent sweep session (solver + CNF + pair cache shared across
+  /// calls). When null, each sweep() builds a private throwaway session —
+  /// the pre-session behaviour. The context must be bound (or bindable)
+  /// to the same manager the sweep runs in; sweep() calls bind() itself.
+  SweepContext* context = nullptr;
 };
 
 struct SweepStats {
@@ -65,6 +73,8 @@ struct SweepStats {
   std::size_t nodesBefore = 0; ///< cone size before
   std::size_t nodesAfter = 0;  ///< cone size after rebuild
   std::size_t skippedUnreferenced = 0;  ///< backward-mode pruned checks
+  std::size_t cacheHitsProven = 0;   ///< merges taken from the pair cache
+  std::size_t cacheHitsRefuted = 0;  ///< SAT checks skipped as known-refuted
 };
 
 struct SweepResult {

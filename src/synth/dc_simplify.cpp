@@ -1,11 +1,14 @@
 #include "synth/dc_simplify.hpp"
 
 #include <algorithm>
-#include <string>
+#include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "cnf/aig_cnf.hpp"
 #include "sat/solver.hpp"
+#include "sweep/signatures.hpp"
+#include "sweep/sweep_context.hpp"
 #include "util/random.hpp"
 
 namespace cbq::synth {
@@ -18,68 +21,64 @@ using aig::VarId;
 
 std::uint64_t negMask(bool b) { return b ? ~std::uint64_t{0} : 0; }
 
+using sweep::mix64;
+
 /// Simulation of the joint cone of fRef and fTgt with per-word care masks
-/// (care = ¬fRef: inputs where the reference cofactor is 0).
+/// (care = ¬fRef: inputs where the reference cofactor is 0). Built on the
+/// flat signature arena: appends simulate only the new column, and
+/// care-masked class keys are 64-bit hashes with exact masked comparison
+/// as the collision referee (no per-node string keys).
 class CareSim {
  public:
   CareSim(const aig::Aig& aig, Lit fRef, Lit fTgt, util::Random& rng,
-          int words)
+          int words, int maxWords)
       : aig_(&aig), fRef_(fRef), fTgt_(fTgt) {
     const Lit both[] = {fRef, fTgt};
     order_ = aig.coneAnds(both);
     support_ = aig.supportVars(both);
-    piWords_.resize(support_.size());
-    for (auto& w : piWords_) {
-      w.resize(static_cast<std::size_t>(words));
-      for (auto& x : w) x = rng.next64();
-    }
-    resimulate();
+    sigs_.emplace(aig, order_, support_, rng, words, maxWords);
+    recomputeCare(0);
   }
 
   /// `cexBits` is parallel to support(): bit j of entry i is the j-th
-  /// stored counterexample value of support()[i].
+  /// stored counterexample value of support()[i]. Only the new column is
+  /// simulated.
   void appendWord(std::span<const std::uint64_t> cexBits, int cexCount,
                   util::Random& rng) {
-    const std::uint64_t keepMask =
-        cexCount >= 64 ? ~std::uint64_t{0}
-                       : ((std::uint64_t{1} << cexCount) - 1);
-    for (std::size_t i = 0; i < piWords_.size(); ++i) {
-      std::uint64_t word = rng.next64() & ~keepMask;
-      word |= cexBits[i] & keepMask;
-      piWords_[i].push_back(word);
-    }
-    resimulate();
+    const std::size_t before = sigs_->words();
+    sigs_->appendWord(cexBits, cexCount, rng);
+    if (sigs_->words() > before) recomputeCare(before);
   }
 
-  /// Value of a node literal, masked to the care set, as an exact key.
-  [[nodiscard]] std::string careKey(Lit l) const {
-    const auto& s = sig_[l.node()];
-    std::string key;
-    key.reserve(care_.size() * sizeof(std::uint64_t));
-    for (std::size_t w = 0; w < care_.size(); ++w) {
-      const std::uint64_t masked =
-          (s[w] ^ negMask(l.negated())) & care_[w];
-      key.append(reinterpret_cast<const char*>(&masked), sizeof(masked));
-    }
-    return key;
+  /// 64-bit mixed hash of the literal's care-masked value.
+  [[nodiscard]] std::uint64_t careHash(Lit l) const {
+    const auto s = sigs_->of(l.node());
+    const std::uint64_t flip = negMask(l.negated());
+    std::uint64_t h = 0x9d39247e33776d41ull;
+    for (std::size_t w = 0; w < s.size(); ++w)
+      h = mix64(h ^ mix64(((s[w] ^ flip) & care_[w]) + w));
+    return h;
+  }
+
+  /// Exact care-masked equality of two literal values.
+  [[nodiscard]] bool careEqual(Lit a, Lit b) const {
+    const auto sa = sigs_->of(a.node());
+    const auto sb = sigs_->of(b.node());
+    const std::uint64_t flip = negMask(a.negated() != b.negated());
+    for (std::size_t w = 0; w < sa.size(); ++w)
+      if (((sa[w] ^ (sb[w] ^ flip)) & care_[w]) != 0) return false;
+    return true;
   }
 
   /// True when the literal is constant `value` on every care-set pattern.
   [[nodiscard]] bool careConstant(Lit l, bool value) const {
-    const auto& s = sig_[l.node()];
-    for (std::size_t w = 0; w < care_.size(); ++w) {
-      const std::uint64_t litVal = s[w] ^ negMask(l.negated());
-      // Mismatch bits: care patterns where the literal differs from value.
-      if (((litVal ^ negMask(value)) & care_[w]) != 0) return false;
-    }
+    // litValue ^ valueMask == s ^ negMask(negated != value); any set care
+    // bit there is a pattern where the literal differs from `value`.
+    const auto s = sigs_->of(l.node());
+    const std::uint64_t flip = negMask(l.negated() != value);
+    for (std::size_t w = 0; w < s.size(); ++w)
+      if (((s[w] ^ flip) & care_[w]) != 0) return false;
     return true;
-  }
-
-  /// Any care-set pattern at all in the current words?
-  [[nodiscard]] bool hasCareBits() const {
-    for (const std::uint64_t w : care_)
-      if (w != 0) return true;
-    return false;
   }
 
   [[nodiscard]] const std::vector<NodeId>& order() const { return order_; }
@@ -92,29 +91,12 @@ class CareSim {
   }
 
  private:
-  void resimulate() {
-    const std::size_t words =
-        piWords_.empty() ? 1 : piWords_.front().size();
-    sig_.assign(aig_->numNodes(), {});
-    sig_[0].assign(words, 0);
-    for (std::size_t i = 0; i < support_.size(); ++i)
-      sig_[aig_->piNodeOf(support_[i])] = piWords_[i];
-    for (const NodeId n : order_) {
-      const Lit f0 = aig_->fanin0(n);
-      const Lit f1 = aig_->fanin1(n);
-      auto& outw = sig_[n];
-      outw.resize(words);
-      const auto& a = sig_[f0.node()];
-      const auto& b = sig_[f1.node()];
-      for (std::size_t w = 0; w < words; ++w) {
-        outw[w] = (a[w] ^ negMask(f0.negated())) &
-                  (b[w] ^ negMask(f1.negated()));
-      }
-    }
-    // care = ¬fRef.
-    care_.resize(words);
-    const auto& rs = sig_[fRef_.node()];
-    for (std::size_t w = 0; w < words; ++w)
+  void recomputeCare(std::size_t from) {
+    // care = ¬fRef, per column; columns never change once simulated, so
+    // only the freshly appended ones need computing.
+    care_.resize(sigs_->words());
+    const auto rs = sigs_->of(fRef_.node());
+    for (std::size_t w = from; w < care_.size(); ++w)
       care_[w] = ~(rs[w] ^ negMask(fRef_.negated()));
   }
 
@@ -122,8 +104,7 @@ class CareSim {
   Lit fRef_, fTgt_;
   std::vector<NodeId> order_;
   std::vector<VarId> support_;
-  std::vector<std::vector<std::uint64_t>> piWords_;  // parallel to support_
-  std::vector<std::vector<std::uint64_t>> sig_;
+  std::optional<sweep::Signatures> sigs_;
   std::vector<std::uint64_t> care_;
 };
 
@@ -177,11 +158,25 @@ DcResult dcSimplify(aig::Aig& aig, Lit fRef, Lit fTgt, const DcOptions& opts) {
   }
 
   util::Random rng(opts.seed);
-  CareSim sim(aig, fRef, fTgt, rng, std::max(opts.numWords, 1));
+  CareSim sim(aig, fRef, fTgt, rng, std::max(opts.numWords, 1),
+              std::max(opts.numWords, 1) + std::max(opts.maxRounds, 0));
 
-  sat::Solver solver;
-  cnf::AigCnf cnf(aig, solver);
+  // Share the run's persistent clause database when a session is provided
+  // (every query below is assumption-only); otherwise a private one.
+  sweep::SweepContext localCtx;
+  sweep::SweepContext* ctx =
+      opts.context != nullptr ? opts.context : &localCtx;
+  ctx->bind(aig);
+  ctx->recycleIfBloated(sim.order().size() + sim.support().size());
+  cnf::AigCnf& cnf = ctx->cnf();
   const Lit notRef = !fRef;
+  {
+    // Phase A never grows the manager, so the joint cone covers every
+    // input-DC query; phase B re-focuses per attempt (its miters may
+    // strash onto nodes outside this cone).
+    const Lit focusRoots[] = {fRef, fTgt};
+    cnf.focusOn(focusRoots);
+  }
 
   // ----- phase A: input-DC replacements (cex-refined rounds) -------------
   // Phase A only encodes into the solver (the manager does not grow), so
@@ -192,11 +187,19 @@ DcResult dcSimplify(aig::Aig& aig, Lit fRef, Lit fTgt, const DcOptions& opts) {
   bool interrupted = false;
   for (int round = 0; !interrupted && round < opts.maxRounds; ++round) {
     const auto targetOrder = sim.targetOrder();
-    std::unordered_map<std::string, Lit> repByKey;
+    // Care-masked representative chains: hash -> positive literals whose
+    // masked values share that hash (exact masked compare disambiguates).
+    std::unordered_map<std::uint64_t, std::vector<Lit>> repByHash;
+    auto addRep = [&](Lit l) { repByHash[sim.careHash(l)].push_back(l); };
+    auto findRep = [&](Lit l) -> std::optional<Lit> {
+      if (auto it = repByHash.find(sim.careHash(l)); it != repByHash.end())
+        for (const Lit c : it->second)
+          if (sim.careEqual(l, c)) return c;
+      return std::nullopt;
+    };
     // PIs of the joint support act as merge representatives too.
     for (const VarId v : sim.support())
-      repByKey.emplace(sim.careKey(Lit(aig.piNodeOf(v), false)),
-                       Lit(aig.piNodeOf(v), false));
+      addRep(Lit(aig.piNodeOf(v), false));
 
     std::vector<std::uint64_t> cexBits(sim.support().size(), 0);
     int cexCount = 0;
@@ -220,18 +223,15 @@ DcResult dcSimplify(aig::Aig& aig, Lit fRef, Lit fTgt, const DcOptions& opts) {
       } else if (sim.careConstant(ln, true)) {
         candidate = aig::kTrue;
         haveCandidate = true;
-      } else {
-        if (auto it = repByKey.find(sim.careKey(ln)); it != repByKey.end()) {
-          candidate = it->second;
-          haveCandidate = true;
-        } else if (auto it2 = repByKey.find(sim.careKey(!ln));
-                   it2 != repByKey.end()) {
-          candidate = !it2->second;
-          haveCandidate = true;
-        }
+      } else if (auto rep = findRep(ln)) {
+        candidate = *rep;
+        haveCandidate = true;
+      } else if (auto repN = findRep(!ln)) {
+        candidate = !*repN;
+        haveCandidate = true;
       }
       if (!haveCandidate) {
-        repByKey.emplace(sim.careKey(ln), ln);
+        addRep(ln);
         continue;
       }
 
@@ -250,12 +250,13 @@ DcResult dcSimplify(aig::Aig& aig, Lit fRef, Lit fTgt, const DcOptions& opts) {
         case cnf::Verdict::Fails: {
           ++out.stats.satRefuted;
           for (std::size_t i = 0; i < sim.support().size(); ++i) {
-            const std::uint64_t bit = cnf.modelOf(sim.support()[i]) ? 1 : 0;
+            const std::uint64_t bit =
+                cnf.modelOf(sim.support()[i]) ? 1 : 0;
             cexBits[i] |= bit << cexCount;
           }
           ++cexCount;
           // Keep the node available as a representative for later nodes.
-          repByKey.emplace(sim.careKey(ln), ln);
+          addRep(ln);
           break;
         }
         case cnf::Verdict::Unknown: {
@@ -276,7 +277,13 @@ DcResult dcSimplify(aig::Aig& aig, Lit fRef, Lit fTgt, const DcOptions& opts) {
   }
 
   // ----- phase B: ODC attempts, each verified end-to-end ------------------
-  if (opts.useOdc && !interrupted) {
+  // Feedback-gated: each validation is a global equivalence proof over
+  // fRef ∨ fTgt, which on some workloads never accepts — the session's
+  // accept-rate tracker turns the phase off there (with re-probes).
+  const bool attemptOdc =
+      opts.useOdc && !interrupted &&
+      (opts.context == nullptr || ctx->shouldAttemptOdc());
+  if (attemptOdc) {
     int attempts = 0;
     bool changed = true;
     while (changed && attempts < opts.odcAttempts &&
@@ -301,6 +308,10 @@ DcResult dcSimplify(aig::Aig& aig, Lit fRef, Lit fTgt, const DcOptions& opts) {
           // node before/after observable at fRef ∨ fTgt?
           const Lit before = aig.mkOr(fRef, current);
           const Lit after = aig.mkOr(fRef, tentative);
+          {
+            const Lit focusRoots[] = {before, after};
+            cnf.focusOn(focusRoots);
+          }
           ++out.stats.satChecks;
           if (cnf::checkEquiv(cnf, before, after, opts.satBudget) ==
               cnf::Verdict::Holds) {
@@ -313,6 +324,9 @@ DcResult dcSimplify(aig::Aig& aig, Lit fRef, Lit fTgt, const DcOptions& opts) {
         if (changed) break;  // restart scan on the new, smaller cone
       }
     }
+    if (opts.context != nullptr)
+      ctx->noteOdcOutcome(static_cast<std::size_t>(attempts),
+                          out.stats.odcReplacements);
   }
 
   {

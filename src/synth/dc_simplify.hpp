@@ -28,6 +28,10 @@
 
 #include "aig/aig.hpp"
 
+namespace cbq::sweep {
+class SweepContext;
+}
+
 namespace cbq::synth {
 
 struct DcOptions {
@@ -42,6 +46,13 @@ struct DcOptions {
   /// an optimization: when the callback fires, the phases stop early and
   /// the current (sound) result is returned.
   std::function<bool()> interrupt{};
+
+  /// Persistent sweep session whose solver/CNF the DC checks share (all
+  /// queries here are assumption-only, so they coexist with the sweeping
+  /// checks in one clause database). Care-set-relative equivalences are
+  /// NOT recorded in the session's pair cache — they only hold under
+  /// ¬fRef, not globally. Null = private throwaway solver per call.
+  sweep::SweepContext* context = nullptr;
 };
 
 struct DcStats {

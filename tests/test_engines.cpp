@@ -152,7 +152,11 @@ TEST(Engines, AllSatEnumerationCapGivesUnknown) {
 TEST(Engines, CompactionDoesNotChangeVerdicts) {
   for (const bool compact : {false, true}) {
     mc::CircuitQuantReachOptions opts;
-    opts.compactEachIteration = compact;
+    opts.compaction.enabled = compact;
+    // Force a compaction on every iteration when enabled — the harshest
+    // setting for the persistent session (rebind each time).
+    opts.compaction.garbageRatio = 0.0;
+    opts.compaction.minNodes = 0;
     mc::CircuitQuantReach engine(opts);
     const auto safeInst = circuits::makeInstance("lfsr", 4, true);
     EXPECT_EQ(engine.check(safeInst.net).verdict, Verdict::Safe);

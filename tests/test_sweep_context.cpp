@@ -1,0 +1,269 @@
+// Persistent sweep-session tests: context-shared sweeps must agree with
+// fresh-context sweeps across successive calls, the pair cache must be
+// dropped (or correctly remapped) when the manager identity changes, and
+// the flat signature engine's incremental appendWord must be bit-for-bit
+// identical to a full resimulation.
+
+#include <gtest/gtest.h>
+
+#include "cnf/aig_cnf.hpp"
+#include "helpers.hpp"
+#include "sat/solver.hpp"
+#include "sweep/signatures.hpp"
+#include "sweep/sweep_context.hpp"
+#include "sweep/sweeper.hpp"
+#include "util/random.hpp"
+
+namespace cbq {
+namespace {
+
+using aig::Aig;
+using aig::Lit;
+using sweep::sweep;
+using sweep::SweepContext;
+using sweep::SweepOptions;
+
+class SweepContextRandomized : public ::testing::TestWithParam<int> {};
+
+TEST_P(SweepContextRandomized, PersistentAgreesWithFreshAcrossCalls) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  util::Random rng(seed * 101 + 7);
+  Aig g;
+  SweepContext ctx;
+
+  // Three successive sweeps over growing cones in one manager, all through
+  // one persistent context; every result must match a fresh-context sweep
+  // of the same roots semantically (truth table referee).
+  std::vector<Lit> formulas;
+  for (int call = 0; call < 3; ++call) {
+    formulas.push_back(test::randomFormula(g, rng, 5, 40));
+    const Lit f = formulas.back();
+    const auto tt = test::truthTable(g, f, 5);
+
+    SweepOptions withCtx;
+    withCtx.context = &ctx;
+    withCtx.seed = seed + static_cast<std::uint64_t>(call);
+    const Lit roots[] = {f};
+    const auto persistent = sweep(g, roots, withCtx);
+    EXPECT_EQ(test::truthTable(g, persistent.roots[0], 5), tt)
+        << "call " << call;
+
+    SweepOptions freshOpts;
+    freshOpts.seed = seed + static_cast<std::uint64_t>(call);
+    const auto fresh = sweep(g, roots, freshOpts);
+    EXPECT_EQ(test::truthTable(g, fresh.roots[0], 5), tt) << "call " << call;
+    // Both pipelines must agree on the function; structure may differ
+    // (the persistent context can merge through cached facts).
+    EXPECT_EQ(test::truthTable(g, persistent.roots[0], 5),
+              test::truthTable(g, fresh.roots[0], 5));
+  }
+  EXPECT_TRUE(ctx.boundTo(g));
+}
+
+TEST_P(SweepContextRandomized, RepeatSweepHitsPairCache) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  util::Random rng(seed * 131 + 3);
+  Aig g;
+  // Two structurally different builds of equivalent functions so the SAT
+  // layer has real work the first time around.
+  const Lit a = g.pi(0);
+  const Lit b = g.pi(1);
+  const Lit c = g.pi(2);
+  const Lit noise = test::randomFormula(g, rng, 3, 25);
+  const Lit f1 = g.mkOr(g.mkAnd(a, b), g.mkAnd(a, c));
+  const Lit f2 = g.mkAnd(a, g.mkOr(b, c));
+  const Lit roots[] = {g.mkXor(f1, noise), g.mkXor(f2, noise)};
+
+  SweepContext ctx;
+  SweepOptions opts;
+  opts.context = &ctx;
+  opts.useBdd = false;  // force the SAT layer to do the proving
+  const auto first = sweep(g, roots, opts);
+  const auto lookupsAfterFirst = ctx.counters().lookups;
+
+  // Same roots again: everything provable was recorded, so the second
+  // call must consult the cache and issue no more SAT checks than before.
+  const auto second = sweep(g, roots, opts);
+  EXPECT_GT(ctx.counters().lookups, lookupsAfterFirst);
+  EXPECT_LE(second.stats.satChecks, first.stats.satChecks);
+  if (first.stats.satMerges > 0) {
+    EXPECT_GT(ctx.counters().hitsProven + ctx.counters().hitsRefuted, 0u);
+  }
+  EXPECT_EQ(test::truthTable(g, first.roots[0], 3 + 3),
+            test::truthTable(g, second.roots[0], 3 + 3));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SweepContextRandomized,
+                         ::testing::Range(0, 8));
+
+TEST(SweepContext, RebindDropsCacheOnManagerIdentityChange) {
+  Aig g;
+  const Lit a = g.pi(0);
+  const Lit b = g.pi(1);
+  const Lit f1 = g.mkOr(g.mkAnd(a, b), g.mkAnd(a, !b));  // = a
+  SweepContext ctx;
+  ctx.bind(g);
+  ctx.recordProven(f1, a);
+  EXPECT_EQ(ctx.lookupPair(f1, a), SweepContext::PairFact::Proven);
+  const std::uint64_t uidBefore = g.uid();
+
+  // Compaction idiom: transfer the live cone into a fresh manager and
+  // move it over the old one. The object address is unchanged but the
+  // identity is new — bind() must detect it and drop the cache.
+  Aig fresh;
+  const Lit roots[] = {f1};
+  fresh.transferFrom(g, roots);
+  g = std::move(fresh);
+  EXPECT_NE(g.uid(), uidBefore);
+  EXPECT_FALSE(ctx.boundTo(g));
+
+  const auto rebinds = ctx.counters().rebinds;
+  EXPECT_TRUE(ctx.bind(g));
+  EXPECT_EQ(ctx.counters().rebinds, rebinds + 1);
+  // The old fact must be gone — its NodeIds mean something else now.
+  EXPECT_EQ(ctx.lookupPair(f1, a), SweepContext::PairFact::Unknown);
+}
+
+TEST(SweepContext, RebindRemappedCarriesFactsAcrossCompaction) {
+  Aig g;
+  util::Random rng(99);
+  const Lit f = test::randomFormula(g, rng, 4, 30);
+  const Lit p = g.pi(0);
+  SweepContext ctx;
+  ctx.bind(g);
+  ctx.recordProven(f, p);          // survives: both cones stay live
+  const Lit scratch = g.mkAnd(g.pi(7), g.pi(8));
+  ctx.recordRefuted(scratch, p);   // dies: scratch is not transferred
+
+  Aig fresh;
+  std::vector<std::pair<aig::NodeId, Lit>> xfer;
+  const Lit roots[] = {f, p};
+  const auto moved = fresh.transferFrom(g, roots, xfer);
+  g = std::move(fresh);
+  ctx.rebindRemapped(g, xfer);
+
+  EXPECT_TRUE(ctx.boundTo(g));
+  EXPECT_EQ(ctx.lookupPair(moved[0], moved[1]),
+            SweepContext::PairFact::Proven);
+  EXPECT_GE(ctx.counters().remaps, 1u);
+}
+
+TEST(SweepContext, SweepAfterCompactionStaysSound) {
+  // End-to-end: sweep, compact (move-assign), sweep again with the same
+  // context — the second sweep must rebind and stay semantically correct.
+  bool anyRebind = false;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    util::Random rng(seed * 17);
+    Aig g;
+    SweepContext ctx;
+    Lit f = test::randomFormula(g, rng, 5, 50);
+    SweepOptions opts;
+    opts.context = &ctx;
+    {
+      const Lit roots[] = {f};
+      f = sweep(g, roots, opts).roots[0];
+    }
+    const auto tt = test::truthTable(g, f, 5);
+
+    Aig fresh;
+    const Lit live[] = {f};
+    f = fresh.transferFrom(g, live).front();
+    g = std::move(fresh);
+
+    const Lit roots2[] = {f};
+    const auto swept = sweep(g, roots2, opts);
+    EXPECT_EQ(test::truthTable(g, swept.roots[0], 5), tt) << seed;
+    // A rebind only happens when both sweeps saw non-empty cones (a
+    // sweep of a constant/PI root returns before binding).
+    anyRebind = anyRebind || ctx.counters().rebinds >= 1;
+  }
+  EXPECT_TRUE(anyRebind);
+}
+
+TEST(Signatures, IncrementalAppendEqualsFullResimulation) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    util::Random rng(seed * 23 + 5);
+    Aig g;
+    const Lit f = test::randomFormula(g, rng, 6, 60);
+    const Lit roots[] = {f};
+    const auto order = g.coneAnds(roots);
+    const auto support = g.supportVars(roots);
+    if (order.empty()) continue;
+
+    sweep::Signatures sigs(g, order, support, rng, 2, 2 + 6);
+
+    // Append a few counterexample words (arbitrary bit patterns).
+    for (int round = 0; round < 4; ++round) {
+      std::vector<std::uint64_t> cexBits(support.size());
+      for (auto& w : cexBits) w = rng.next64() & 0xff;
+      sigs.appendWord(cexBits, 8, rng);
+    }
+
+    // Snapshot the incrementally built signatures, then recompute every
+    // column from the stored PI words — must match bit for bit.
+    std::vector<std::vector<std::uint64_t>> before;
+    for (const aig::NodeId n : order)
+      before.emplace_back(sigs.of(n).begin(), sigs.of(n).end());
+    sigs.resimulateAll();
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const auto now = sigs.of(order[i]);
+      ASSERT_EQ(before[i].size(), now.size());
+      for (std::size_t w = 0; w < now.size(); ++w)
+        EXPECT_EQ(before[i][w], now[w]) << "node " << order[i] << " word "
+                                        << w << " seed " << seed;
+    }
+  }
+}
+
+TEST(Signatures, AppendStopsAtCapacity) {
+  Aig g;
+  const Lit f = g.mkAnd(g.pi(0), g.pi(1));
+  const Lit roots[] = {f};
+  const auto order = g.coneAnds(roots);
+  const auto support = g.supportVars(roots);
+  util::Random rng(5);
+  sweep::Signatures sigs(g, order, support, rng, 1, 2);
+  EXPECT_EQ(sigs.words(), 1u);
+  std::vector<std::uint64_t> cex(support.size(), 1);
+  sigs.appendWord(cex, 1, rng);
+  EXPECT_EQ(sigs.words(), 2u);
+  sigs.appendWord(cex, 1, rng);  // at capacity: silently refused
+  EXPECT_EQ(sigs.words(), 2u);
+}
+
+TEST(SolverFocus, FocusedQueriesStaySoundInSharedDatabase) {
+  // Two disjoint cones in one solver; focusing on one must not change
+  // the answers for queries inside it, and a later focus on the other
+  // cone must still decide that cone's variables (heap rebuild).
+  Aig g;
+  const Lit x = g.pi(0);
+  const Lit y = g.pi(1);
+  const Lit coneA = g.mkXor(x, y);
+  const Lit u = g.pi(2);
+  const Lit v = g.pi(3);
+  const Lit coneB = g.mkAnd(u, v);
+
+  sat::Solver solver;
+  cnf::AigCnf cnf(g, solver);
+
+  const Lit aRoots[] = {coneA};
+  cnf.focusOn(aRoots);
+  EXPECT_EQ(cnf::checkSat(cnf, coneA), cnf::Verdict::Holds);
+  EXPECT_EQ(cnf::checkEquiv(cnf, coneA, coneA), cnf::Verdict::Holds);
+  EXPECT_EQ(cnf::checkConstant(cnf, coneA, false), cnf::Verdict::Fails);
+
+  const Lit bRoots[] = {coneB};
+  cnf.focusOn(bRoots);
+  EXPECT_EQ(cnf::checkSat(cnf, coneB), cnf::Verdict::Holds);
+  EXPECT_TRUE(cnf.modelOf(2));
+  EXPECT_TRUE(cnf.modelOf(3));
+  EXPECT_EQ(cnf::checkImplies(cnf, coneB, u), cnf::Verdict::Holds);
+  EXPECT_EQ(cnf::checkImplies(cnf, u, coneB), cnf::Verdict::Fails);
+
+  // Unfocus: a full-assignment query over both cones still works.
+  solver.unfocusDecisions();
+  EXPECT_EQ(cnf::checkSat(cnf, g.mkAnd(coneA, coneB)), cnf::Verdict::Holds);
+}
+
+}  // namespace
+}  // namespace cbq
