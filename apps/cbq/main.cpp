@@ -43,15 +43,33 @@ struct Args {
   std::size_t nodeLimit = 0;
   int jobs = 0;
   int width = 4;
+  int workers = 1;  // slice-mode worker threads
   bool unsafe = false;
   bool quiet = false;
   bool smoke = false;
   std::string engine;
   std::vector<std::string> engines;
+  std::string schedule;  // race | slice (bench also: seq)
   std::string output;  // -o
   std::string jsonPath;
   std::string csvPath;
 };
+
+/// Parses --schedule for check/batch; empty defaults to race.
+bool parseSchedule(const std::string& s,
+                   cbq::portfolio::ScheduleMode& mode) {
+  if (s.empty() || s == "race") {
+    mode = cbq::portfolio::ScheduleMode::Race;
+    return true;
+  }
+  if (s == "slice") {
+    mode = cbq::portfolio::ScheduleMode::Slice;
+    return true;
+  }
+  std::fprintf(stderr, "cbq: unknown schedule '%s' (race|slice)\n",
+               s.c_str());
+  return false;
+}
 
 std::vector<std::string> splitCsv(const std::string& s) {
   std::vector<std::string> out;
@@ -96,6 +114,14 @@ bool parseArgs(int argc, char** argv, int first, Args& args) {
       const char* v = value("--engines");
       if (!v) return false;
       args.engines = splitCsv(v);
+    } else if (a == "--schedule") {
+      const char* v = value("--schedule");
+      if (!v) return false;
+      args.schedule = v;
+    } else if (a == "--workers") {
+      const char* v = value("--workers");
+      if (!v) return false;
+      args.workers = std::atoi(v);
     } else if (a == "--output" || a == "-o") {
       const char* v = value("-o");
       if (!v) return false;
@@ -130,12 +156,15 @@ int usage() {
   std::fputs(
       "usage:\n"
       "  cbq check <file> [--engine NAME | --engines A,B,C] [--timeout S]\n"
-      "            [--node-limit N]\n"
-      "      race the portfolio on one circuit (.aag/.aig/.bench);\n"
+      "            [--node-limit N] [--schedule race|slice] [--workers N]\n"
+      "      run the portfolio on one circuit (.aag/.aig/.bench);\n"
+      "      --schedule race (default) races engines on threads,\n"
+      "      --schedule slice round-robins persistent engine sessions on\n"
+      "      --workers threads (default 1: single-core portfolio);\n"
       "      a single --engine runs that engine alone\n"
       "  cbq batch <dir-or-files...> [--jobs N] [--engines A,B,C]\n"
-      "            [--timeout S] [--node-limit N] [--json F] [--csv F]\n"
-      "            [--quiet]\n"
+      "            [--timeout S] [--node-limit N] [--schedule race|slice]\n"
+      "            [--json F] [--csv F] [--quiet]\n"
       "      verify every circuit file with a worker pool; --timeout is\n"
       "      the per-problem budget\n"
       "  cbq gen <family> [--width N] [--unsafe] [-o file.aag]\n"
@@ -145,20 +174,23 @@ int usage() {
       "  cbq engines\n"
       "      list engine names (* = default portfolio)\n"
       "  cbq bench [--engine NAME] [--timeout S] [--smoke] [-o FILE]\n"
-      "      run the generated family suite sequentially with one engine\n"
-      "      (default cbq-reach) and write BENCH_reach.json: per-circuit\n"
-      "      wall time, sweeper SAT calls, pair-cache hit rate, solver\n"
-      "      effort; --smoke restricts to a few tiny circuits for CI\n",
+      "            [--schedule seq|slice|race]\n"
+      "      run the generated family suite and write BENCH_reach.json:\n"
+      "      per-circuit wall time, sweeper SAT calls, pair-cache hit\n"
+      "      rate, solver effort. --schedule seq (default) runs one\n"
+      "      engine sequentially (default cbq-reach); slice/race run the\n"
+      "      engine portfolio time-sliced on one core / racing on\n"
+      "      threads; --smoke restricts to a few tiny circuits for CI\n",
       stderr);
   return 1;
 }
 
 void printEngineTable(const std::vector<cbq::portfolio::EngineRun>& runs) {
-  std::printf("  %-14s %-8s %6s %9s  %s\n", "engine", "verdict", "steps",
-              "seconds", "");
+  std::printf("  %-14s %-8s %6s %9s %7s  %s\n", "engine", "verdict", "steps",
+              "seconds", "slices", "");
   for (const auto& r : runs) {
-    std::printf("  %-14s %-8s %6d %9.3f  %s\n", r.engine.c_str(),
-                cbq::mc::toString(r.verdict), r.steps, r.seconds,
+    std::printf("  %-14s %-8s %6d %9.3f %7d  %s\n", r.engine.c_str(),
+                cbq::mc::toString(r.verdict), r.steps, r.seconds, r.slices,
                 r.winner      ? "<- winner"
                 : r.cancelled ? "(cancelled)"
                               : "");
@@ -196,6 +228,8 @@ int cmdCheck(const Args& args) {
   }
   opts.timeLimitSeconds = args.timeout;
   opts.nodeLimit = args.nodeLimit;
+  if (!parseSchedule(args.schedule, opts.schedule)) return 1;
+  opts.sliceWorkers = args.workers;
 
   cbq::portfolio::PortfolioResult res;
   try {
@@ -248,6 +282,8 @@ int cmdBatch(const Args& args) {
   }
   opts.portfolio.timeLimitSeconds = args.timeout;
   opts.portfolio.nodeLimit = args.nodeLimit;
+  if (!parseSchedule(args.schedule, opts.portfolio.schedule)) return 1;
+  opts.portfolio.sliceWorkers = args.workers;
 
   cbq::portfolio::BatchSummary summary;
   try {
@@ -372,10 +408,17 @@ int cmdGenSuite(const Args& args) {
 int cmdBench(const Args& args) {
   const std::string engineName =
       args.engine.empty() ? "cbq-reach" : args.engine;
+  const std::string schedule =
+      args.schedule.empty() ? "seq" : args.schedule;
   const double timeout = args.timeout > 0.0 ? args.timeout : 60.0;
   const std::string outPath =
       args.output.empty() ? "BENCH_reach.json" : args.output;
-  if (!cbq::mc::makeEngine(engineName)) {
+  if (schedule != "seq" && schedule != "slice" && schedule != "race") {
+    std::fprintf(stderr, "cbq: unknown schedule '%s' (seq|slice|race)\n",
+                 schedule.c_str());
+    return 1;
+  }
+  if (schedule == "seq" && !cbq::mc::makeEngine(engineName)) {
     std::fprintf(stderr, "cbq: unknown engine %s\n", engineName.c_str());
     return 1;
   }
@@ -408,6 +451,7 @@ int cmdBench(const Args& args) {
 
   struct Row {
     std::string name;
+    std::string winner;  ///< solving engine (seq: the engine itself)
     const char* expected;
     const char* verdict;
     int steps = 0;
@@ -424,9 +468,25 @@ int cmdBench(const Args& args) {
   int mismatches = 0;
 
   for (const auto& inst : instances) {
-    auto engine = cbq::mc::makeEngine(engineName);
-    const cbq::portfolio::Budget budget(timeout);
-    const auto r = engine->check(inst.net, budget);
+    cbq::mc::CheckResult r;
+    if (schedule == "seq") {
+      auto engine = cbq::mc::makeEngine(engineName);
+      const cbq::portfolio::Budget budget(timeout);
+      r = engine->check(inst.net, budget);
+    } else {
+      // Portfolio variant: --schedule slice is the single-core
+      // time-sliced portfolio, --schedule race the thread-per-engine one.
+      cbq::portfolio::PortfolioOptions popts;
+      if (!args.engines.empty()) popts.engines = args.engines;
+      popts.timeLimitSeconds = timeout;
+      popts.schedule = schedule == "slice"
+                           ? cbq::portfolio::ScheduleMode::Slice
+                           : cbq::portfolio::ScheduleMode::Race;
+      popts.sliceWorkers = args.workers;
+      const cbq::portfolio::PortfolioRunner runner(popts);
+      auto pr = runner.run(inst.net);
+      r = std::move(pr.best);
+    }
 
     Row row;
     std::ostringstream name;
@@ -434,6 +494,7 @@ int cmdBench(const Args& args) {
     if (inst.width > 0) name << inst.width;
     name << (inst.expected == Verdict::Safe ? "_safe" : "_unsafe");
     row.name = name.str();
+    row.winner = r.engine;
     row.expected = cbq::mc::toString(inst.expected);
     row.verdict = cbq::mc::toString(r.verdict);
     row.steps = r.steps;
@@ -480,7 +541,10 @@ int cmdBench(const Args& args) {
     return s;
   }();
   out << "{\n";
-  out << "  \"engine\": \"" << engineName << "\",\n";
+  out << "  \"engine\": \""
+      << (schedule == "seq" ? engineName : "portfolio-" + schedule)
+      << "\",\n";
+  out << "  \"schedule\": \"" << schedule << "\",\n";
   out << "  \"timeout_seconds\": " << timeout << ",\n";
   out << "  \"circuits\": " << rows.size() << ",\n";
   out << "  \"solved\": " << solved << ",\n";
@@ -495,8 +559,9 @@ int cmdBench(const Args& args) {
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     out << (i == 0 ? "\n" : ",\n");
-    out << "    {\"name\": \"" << r.name << "\", \"expected\": \""
-        << r.expected << "\", \"verdict\": \"" << r.verdict
+    out << "    {\"name\": \"" << r.name << "\", \"winner\": \""
+        << r.winner << "\", \"expected\": \"" << r.expected
+        << "\", \"verdict\": \"" << r.verdict
         << "\", \"steps\": " << r.steps << ", \"seconds\": " << r.seconds
         << ", \"sweeper_sat_checks\": " << r.sweepChecks
         << ", \"dc_sat_checks\": " << r.dcChecks

@@ -367,6 +367,15 @@ bool Aig::evaluate(Lit root,
   return (simulate(roots, words).front() & 1u) != 0;
 }
 
+bool Aig::evaluate(Lit root, const std::vector<bool>& assignment) const {
+  util::VarTable<std::uint64_t> words;
+  // Unmapped PIs simulate as zero, so only true variables need slots.
+  for (std::size_t v = 0; v < assignment.size(); ++v)
+    if (assignment[v]) words.set(static_cast<VarId>(v), negMask(true));
+  const Lit roots[] = {root};
+  return (simulate(roots, words).front() & 1u) != 0;
+}
+
 std::vector<Lit> Aig::transferFrom(const Aig& src,
                                    std::span<const Lit> roots) {
   return transferFromImpl(src, roots, nullptr);

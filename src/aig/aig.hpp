@@ -195,6 +195,13 @@ class Aig {
   [[nodiscard]] bool evaluate(
       Lit root, const std::unordered_map<VarId, bool>& assignment) const;
 
+  /// Dense variant: `assignment[v]` is the value of VarId v; variables at
+  /// or beyond the vector's size evaluate as false. The engines' per-
+  /// iteration init checks and trace replay use this to avoid rebuilding
+  /// a hash map per evaluation.
+  [[nodiscard]] bool evaluate(Lit root,
+                              const std::vector<bool>& assignment) const;
+
   // ----- transfer -------------------------------------------------------
 
   /// Copies the cones of `roots` from `src` into this manager. PIs are

@@ -226,6 +226,17 @@ bool BddManager::evaluate(
   return x == kTrueBdd;
 }
 
+bool BddManager::evaluate(BddRef f,
+                          const std::vector<bool>& assignment) const {
+  BddRef x = f;
+  while (!isTerminal(x)) {
+    const aig::VarId v = levelToVar_[nodeLevel(x)];
+    const bool value = v < assignment.size() && assignment[v];
+    x = value ? hi(x) : lo(x);
+  }
+  return x == kTrueBdd;
+}
+
 std::unordered_map<aig::VarId, bool> BddManager::anySat(BddRef f) const {
   std::unordered_map<aig::VarId, bool> out;
   if (f == kFalseBdd) return out;

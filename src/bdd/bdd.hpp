@@ -111,6 +111,11 @@ class BddManager {
   [[nodiscard]] bool evaluate(
       BddRef f, const std::unordered_map<aig::VarId, bool>& assignment) const;
 
+  /// Dense variant: `assignment[v]` is VarId v's value; out-of-range
+  /// variables read as false (mirrors aig::Aig::evaluate).
+  [[nodiscard]] bool evaluate(BddRef f,
+                              const std::vector<bool>& assignment) const;
+
   /// One satisfying assignment of `f` (empty when f = FALSE). Variables
   /// skipped on the chosen path are left out (free).
   [[nodiscard]] std::unordered_map<aig::VarId, bool> anySat(BddRef f) const;

@@ -34,6 +34,25 @@ mc::Network readAag(std::istream& in, std::string name) {
   in >> magic >> m >> i >> l >> o >> a;
   if (magic != "aag") throw ParseError("not an ascii AIGER file");
 
+  // AIGER 1.9 header extensions: `aag M I L O A [B [C [J [F]]]]`. Bad
+  // literals are property outputs like O (both are OR-ed into `bad`);
+  // invariant constraints and justice/fairness are liveness-flavoured
+  // machinery the invariant checker cannot honour soundly, so their
+  // presence is a parse error rather than a silently wrong verdict.
+  unsigned b = 0;
+  unsigned c = 0;
+  unsigned j = 0;
+  unsigned f = 0;
+  {
+    std::string rest;
+    std::getline(in, rest);
+    std::istringstream hs(rest);
+    hs >> b >> c >> j >> f;  // absent fields stay 0
+  }
+  if (c > 0) throw ParseError("invariant constraints unsupported");
+  if (j > 0 || f > 0)
+    throw ParseError("justice/fairness properties unsupported");
+
   Network net;
   net.name = std::move(name);
 
@@ -47,20 +66,54 @@ mc::Network readAag(std::istream& in, std::string name) {
   std::vector<LatchDef> latches(l);
   {
     std::string line;
-    std::getline(in, line);  // finish header/input line
+    if (i > 0) std::getline(in, line);  // finish the last input line
     for (auto& ld : latches) {
       std::getline(in, line);
       std::istringstream ls(line);
       ld.init = false;
       unsigned init = 0;
       if (!(ls >> ld.lit >> ld.next)) throw ParseError("bad latch line");
-      if (ls >> init) ld.init = (init != 0);
+      if (ls >> init) {
+        // 1.9 reset values: 0, 1, or the latch's own literal meaning
+        // "uninitialized" — a 3-valued start state we cannot model.
+        if (init == ld.lit)
+          throw ParseError("uninitialized latch resets unsupported");
+        if (init > 1) throw ParseError("bad latch reset value");
+        ld.init = (init != 0);
+      }
     }
-    std::vector<unsigned> outputs(o);
+    // Outputs, then the 1.9 bad-literal section; both name states the
+    // checker must prove unreachable, so they merge into one `bad`.
+    std::vector<unsigned> outputs(o + b);
     for (auto& x : outputs) in >> x;
     std::vector<AagAnd> ands(a);
     for (auto& g : ands) in >> g.lhs >> g.rhs0 >> g.rhs1;
     if (!in) throw ParseError("truncated AIGER file");
+
+    // Symbol table (`i<k> name` / `l<k> name` / `o<k> name` / `b<k>
+    // name` lines) and the free-text comment section after a lone `c`.
+    // Symbols map positions, not literals, so they carry no structure the
+    // Network does not already have — they are validated and skipped.
+    // The outputs/bads/ands were read with `>>` (cursor mid-line); with
+    // none present the latch/header getlines already sit at a line start.
+    if (o + b + a > 0) std::getline(in, line);  // finish the numeric line
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      if (line[0] == 'c') break;  // comment section: rest is free text
+      const char kind = line[0];
+      unsigned idx = 0;
+      std::string sym;
+      std::istringstream ss(line.substr(1));
+      if ((kind != 'i' && kind != 'l' && kind != 'o' && kind != 'b') ||
+          !(ss >> idx >> sym))
+        throw ParseError("bad symbol table line: " + line);
+      const unsigned count = kind == 'i' ? i
+                             : kind == 'l' ? l
+                             : kind == 'o' ? o
+                                           : b;
+      if (idx >= count)
+        throw ParseError("symbol index out of range: " + line);
+    }
 
     // Variable kind table.
     enum class Kind : std::uint8_t { Undefined, Input, Latch, And };
@@ -166,6 +219,14 @@ void writeAag(const Network& net, std::ostream& out) {
     out << 2 * andIndex.at(n) << ' ' << litCode(net.aig.fanin0(n)) << ' '
         << litCode(net.aig.fanin1(n)) << '\n';
   }
+  // Symbol table: record the network's original VarIds (AIGER reindexes
+  // variables), then the instance name as a comment.
+  for (std::size_t k = 0; k < net.inputVars.size(); ++k)
+    out << 'i' << k << " v" << net.inputVars[k] << '\n';
+  for (std::size_t k = 0; k < net.stateVars.size(); ++k)
+    out << 'l' << k << " v" << net.stateVars[k] << '\n';
+  out << "o0 bad\n";
+  out << "c\n" << net.name << " (written by cbq)\n";
 }
 
 // ----- AIGER binary -----------------------------------------------------------

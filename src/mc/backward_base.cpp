@@ -4,7 +4,6 @@
 
 #include "cnf/aig_cnf.hpp"
 #include "sat/solver.hpp"
-#include "util/timer.hpp"
 
 namespace cbq::mc::detail {
 
@@ -76,158 +75,202 @@ Trace reconstructTrace(const Network& net, aig::Aig& archive,
 
 }  // namespace
 
-CheckResult backwardReach(const Network& net, const std::string& engineName,
-                          const ReachLimits& limits,
-                          const CompactionPolicy& compaction,
-                          std::size_t hardConeLimit,
-                          const InputEliminator& eliminate,
-                          const portfolio::Budget& budget) {
-  util::Timer timer;
-  const portfolio::Budget bud = budget.tightened(limits.timeLimitSeconds);
-  CheckResult res;
-  res.engine = engineName;
+BackwardReachSession::BackwardReachSession(
+    const Network& net, std::string engineName, const ReachLimits& limits,
+    const CompactionPolicy& compaction, std::size_t hardConeLimit,
+    InputEliminator eliminate)
+    : net_(&net),
+      limits_(limits),
+      compaction_(compaction),
+      hardConeLimit_(hardConeLimit),
+      eliminate_(std::move(eliminate)) {
+  res_.engine = std::move(engineName);
 
   // Working manager: next-state functions + bad cone.
-  aig::Aig mgr;
   std::vector<Lit> roots(net.next.begin(), net.next.end());
   roots.push_back(net.bad);
-  auto moved = mgr.transferFrom(net.aig, roots);
-  std::vector<Lit> nextL(moved.begin(), moved.end() - 1);
-  Lit badL = moved.back();
-
-  auto substOf = [&](const std::vector<Lit>& nx) {
-    std::vector<aig::VarSub> m;
-    m.reserve(nx.size());
-    for (std::size_t i = 0; i < net.stateVars.size(); ++i)
-      m.emplace_back(net.stateVars[i], nx[i]);
-    return m;
-  };
-  std::vector<aig::VarSub> subst = substOf(nextL);
+  auto moved = mgr_.transferFrom(net.aig, roots);
+  nextL_.assign(moved.begin(), moved.end() - 1);
+  badL_ = moved.back();
+  subst_.reserve(nextL_.size());
+  for (std::size_t i = 0; i < net.stateVars.size(); ++i)
+    subst_.emplace_back(net.stateVars[i], nextL_[i]);
 
   // The run's persistent sweep sessions, valid until the next compaction
   // retires the manager's node space. Two databases with very different
-  // shapes: `session` carries the merge/DC compare-point checks (small
+  // shapes: `session_` carries the merge/DC compare-point checks (small
   // cofactor cones, thousands of queries — it is recycled inside sweep()
   // against the current cone so stale cones never dominate propagation),
-  // while `fixSession` carries the fixpoint implications (one huge
+  // while `fixSession_` carries the fixpoint implications (one huge
   // reached-set cone, one query per iteration — encoded incrementally as
   // the reached set grows). Mixing them would make every compare-point
-  // check propagate through the reached-set encoding.
-  sweep::SweepContext session;
-  session.setInterrupt([&bud] { return bud.exhausted(); });
-  sweep::SweepContext fixSession;
-  fixSession.setInterrupt([&bud] { return bud.exhausted(); });
+  // check propagate through the reached-set encoding. Their interrupts
+  // poll whichever slice budget the current resume() is running under.
+  session_.setInterrupt(
+      [this] { return curBud_ != nullptr && curBud_->exhausted(); });
+  fixSession_.setInterrupt(
+      [this] { return curBud_ != nullptr && curBud_->exhausted(); });
 
   // Archive manager: frontier history for counterexample reconstruction.
-  aig::Aig archive;
-  auto movedA = archive.transferFrom(net.aig, roots);
-  std::vector<Lit> archNext(movedA.begin(), movedA.end() - 1);
-  const Lit archBad = movedA.back();
-  std::vector<Lit> frontiersArch;
+  auto movedA = archive_.transferFrom(net.aig, roots);
+  archNext_.assign(movedA.begin(), movedA.end() - 1);
+  archBad_ = movedA.back();
 
-  auto finish = [&](Verdict v, int steps) {
-    res.verdict = v;
-    res.steps = steps;
-    res.seconds = timer.seconds();
-    session.exportStats(res.stats);
-    fixSession.exportStats(res.stats);
-    return res;
-  };
+  initDense_ = net.initAssignmentDense();
+}
 
-  // Frontier 0: B = ∃i . bad(s, i).
-  PreImageRequest req{&mgr, badL, &net, &res.stats, &bud, &session};
-  const auto b0 = eliminate(req);
-  if (!b0) return finish(Verdict::Unknown, 0);
-  Lit frontier = *b0;
-  Lit reached = frontier;
+Progress BackwardReachSession::snapshot(Verdict v, bool done) {
+  Progress p;
+  p.done = done;
+  p.result = res_;
+  p.result.verdict = v;
+  p.result.steps = iter_;
+  session_.exportStats(p.result.stats);
+  fixSession_.exportStats(p.result.stats);
+  p.bound = iter_;
+  p.advanced = committedThisSlice_ > 0;
   {
-    const Lit fr[] = {frontier};
-    frontiersArch.push_back(archive.transferFrom(mgr, fr).front());
+    const Lit fr[] = {frontier_};
+    p.frontierCone = mgr_.coneSize(fr);
   }
+  p.effort =
+      static_cast<std::uint64_t>(p.result.stats.count("sat.conflicts") +
+                                 p.result.stats.count("sat.decisions") +
+                                 p.result.stats.count("sat.propagations"));
+  return p;
+}
 
-  const auto initA = net.initAssignment();
-  int iter = 0;
-  bool unsafe = mgr.evaluate(frontier, initA);
+void BackwardReachSession::commitFrontier(Lit pre) {
+  frontier_ = pre;
+  reached_ = mgr_.mkOr(reached_, pre);
+  const Lit fr[] = {frontier_};
+  frontiersArch_.push_back(archive_.transferFrom(mgr_, fr).front());
+  res_.stats.high("reach.max_frontier_cone",
+                  static_cast<double>(mgr_.coneSize(fr)));
+  ++committedThisSlice_;
+}
 
-  while (!unsafe) {
-    if (iter >= limits.maxIterations || bud.exhausted())
-      return finish(Verdict::Unknown, iter);
-    {
-      const Lit rr[] = {reached};
-      const std::size_t sz = mgr.coneSize(rr);
-      res.stats.high("reach.max_reached_cone", static_cast<double>(sz));
-      if (sz > hardConeLimit || bud.nodesExceeded(sz))
-        return finish(Verdict::Unknown, iter);
-    }
-    ++iter;
+void BackwardReachSession::maybeCompact() {
+  if (!compaction_.enabled) return;
+  std::vector<Lit> live{reached_, frontier_, badL_};
+  live.insert(live.end(), nextL_.begin(), nextL_.end());
+  const std::size_t liveSize = mgr_.coneSize(live);
+  if (mgr_.numNodes() < compaction_.minNodes ||
+      static_cast<double>(mgr_.numNodes()) <=
+          compaction_.garbageRatio * static_cast<double>(liveSize))
+    return;
+  // Re-strash every live cone into a fresh manager. The transfer map
+  // lets the sweep session carry its proven/refuted pair cache across
+  // the NodeId change; the fixpoint session just rebinds (it records no
+  // pair facts).
+  aig::Aig fresh;
+  std::vector<std::pair<aig::NodeId, Lit>> xfer;
+  auto mv = fresh.transferFrom(mgr_, live, xfer);
+  reached_ = mv[0];
+  frontier_ = mv[1];
+  badL_ = mv[2];
+  for (std::size_t i = 0; i < nextL_.size(); ++i) nextL_[i] = mv[3 + i];
+  mgr_ = std::move(fresh);
+  subst_.clear();
+  for (std::size_t i = 0; i < net_->stateVars.size(); ++i)
+    subst_.emplace_back(net_->stateVars[i], nextL_[i]);
+  session_.rebindRemapped(mgr_, xfer);
+  res_.stats.add("reach.compactions");
+}
 
-    // Pre-image by substitution (§3 in-lining), then input elimination.
-    req.formula = mgr.compose(frontier, subst);
-    const auto q = eliminate(req);
-    if (!q) return finish(Verdict::Unknown, iter);
-    Lit pre = *q;
+Progress BackwardReachSession::doResume(const portfolio::Budget& budget) {
+  const auto bud = sliceBudget(budget, limits_.timeLimitSeconds);
+  if (!bud) return snapshot(Verdict::Unknown, true);  // own limit spent
+  curBud_ = &*bud;
+  Progress p = run(*bud);
+  curBud_ = nullptr;
+  return p;
+}
 
-    // Fixpoint: every pre-image state already reached? Runs in its own
-    // session (fixSession) so the reached-set encoding accretes
-    // incrementally across iterations without ever being propagated
-    // through by the small merge/DC compare-point checks.
-    {
-      fixSession.bind(mgr);
-      const Lit fpRoots[] = {pre, reached};
-      fixSession.recycleIfBloated(mgr.coneSize(fpRoots));
-      fixSession.cnf().focusOn(fpRoots);
-      res.stats.add("reach.fixpoint_checks");
-      const cnf::Verdict fp =
-          cnf::checkImplies(fixSession.cnf(), pre, reached);
-      if (fp == cnf::Verdict::Holds) return finish(Verdict::Safe, iter);
-      if (fp == cnf::Verdict::Unknown)  // interrupted mid-solve
-        return finish(Verdict::Unknown, iter);
-    }
-
-    frontier = pre;
-    reached = mgr.mkOr(reached, pre);
-    {
-      const Lit fr[] = {frontier};
-      frontiersArch.push_back(archive.transferFrom(mgr, fr).front());
-      res.stats.high("reach.max_frontier_cone",
-                     static_cast<double>(mgr.coneSize(fr)));
-    }
-
-    if (mgr.evaluate(frontier, initA)) {
-      unsafe = true;
-      break;
-    }
-
-    if (compaction.enabled) {
-      std::vector<Lit> live{reached, frontier, badL};
-      live.insert(live.end(), nextL.begin(), nextL.end());
-      const std::size_t liveSize = mgr.coneSize(live);
-      if (mgr.numNodes() >= compaction.minNodes &&
-          static_cast<double>(mgr.numNodes()) >
-              compaction.garbageRatio * static_cast<double>(liveSize)) {
-        // Re-strash every live cone into a fresh manager. The transfer
-        // map lets the sweep session carry its proven/refuted pair cache
-        // across the NodeId change; the fixpoint session just rebinds
-        // (it records no pair facts).
-        aig::Aig fresh;
-        std::vector<std::pair<aig::NodeId, Lit>> xfer;
-        auto mv = fresh.transferFrom(mgr, live, xfer);
-        reached = mv[0];
-        frontier = mv[1];
-        badL = mv[2];
-        for (std::size_t i = 0; i < nextL.size(); ++i) nextL[i] = mv[3 + i];
-        mgr = std::move(fresh);
-        subst = substOf(nextL);
-        session.rebindRemapped(mgr, xfer);
-        res.stats.add("reach.compactions");
+Progress BackwardReachSession::run(const portfolio::Budget& bud) {
+  committedThisSlice_ = 0;
+  for (;;) {
+    if (bud.exhausted()) return snapshot(Verdict::Unknown, false);
+    switch (phase_) {
+      case Phase::Init: {
+        // Frontier 0: B = ∃i . bad(s, i).
+        PreImageRequest req{&mgr_, badL_, net_, &res_.stats, &bud,
+                            &session_};
+        const auto b0 = eliminate_(req);
+        if (!b0) {
+          if (bud.exhausted())  // interrupted: retry next resume
+            return snapshot(Verdict::Unknown, false);
+          return snapshot(Verdict::Unknown, true);
+        }
+        frontier_ = *b0;
+        reached_ = frontier_;
+        {
+          const Lit fr[] = {frontier_};
+          frontiersArch_.push_back(archive_.transferFrom(mgr_, fr).front());
+        }
+        phase_ = mgr_.evaluate(frontier_, initDense_) ? Phase::Trace
+                                                      : Phase::Guard;
+        break;
+      }
+      case Phase::Guard: {
+        if (iter_ >= limits_.maxIterations)
+          return snapshot(Verdict::Unknown, true);
+        const Lit rr[] = {reached_};
+        const std::size_t sz = mgr_.coneSize(rr);
+        res_.stats.high("reach.max_reached_cone", static_cast<double>(sz));
+        if (sz > hardConeLimit_ || bud.nodesExceeded(sz))
+          return snapshot(Verdict::Unknown, true);
+        ++iter_;
+        phase_ = Phase::Pre;
+        break;
+      }
+      case Phase::Pre: {
+        // Pre-image by substitution (§3 in-lining), then input
+        // elimination. A pause retries from here: compose is strashed, so
+        // the retry starts from identical inputs and stays deterministic.
+        PreImageRequest req{&mgr_, mgr_.compose(frontier_, subst_), net_,
+                            &res_.stats, &bud, &session_};
+        const auto q = eliminate_(req);
+        if (!q) {
+          if (bud.exhausted()) return snapshot(Verdict::Unknown, false);
+          return snapshot(Verdict::Unknown, true);
+        }
+        pre_ = *q;
+        phase_ = Phase::Fix;
+        break;
+      }
+      case Phase::Fix: {
+        // Fixpoint: every pre-image state already reached? Runs in its
+        // own session (fixSession_) so the reached-set encoding accretes
+        // incrementally across iterations without ever being propagated
+        // through by the small merge/DC compare-point checks.
+        fixSession_.bind(mgr_);
+        const Lit fpRoots[] = {pre_, reached_};
+        fixSession_.recycleIfBloated(mgr_.coneSize(fpRoots));
+        fixSession_.cnf().focusOn(fpRoots);
+        res_.stats.add("reach.fixpoint_checks");
+        const cnf::Verdict fp =
+            cnf::checkImplies(fixSession_.cnf(), pre_, reached_);
+        if (fp == cnf::Verdict::Holds) return snapshot(Verdict::Safe, true);
+        if (fp == cnf::Verdict::Unknown)  // interrupted mid-solve: retry
+          return snapshot(Verdict::Unknown, false);
+        commitFrontier(pre_);
+        if (mgr_.evaluate(frontier_, initDense_)) {
+          phase_ = Phase::Trace;
+        } else {
+          maybeCompact();
+          phase_ = Phase::Guard;
+        }
+        break;
+      }
+      case Phase::Trace: {
+        res_.cex = reconstructTrace(*net_, archive_, archNext_, archBad_,
+                                    frontiersArch_, iter_, res_.stats);
+        res_.stats.set("reach.iterations", iter_);
+        return snapshot(Verdict::Unsafe, true);
       }
     }
   }
-
-  res.cex = reconstructTrace(net, archive, archNext, archBad, frontiersArch,
-                             iter, res.stats);
-  res.stats.set("reach.iterations", iter);
-  return finish(Verdict::Unsafe, iter);
 }
 
 }  // namespace cbq::mc::detail

@@ -18,40 +18,119 @@
 // the bad cone before handing the problem to BMC / induction.
 
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mc/network.hpp"
 #include "mc/result.hpp"
 #include "portfolio/budget.hpp"
 #include "quant/quantifier.hpp"
+#include "util/timer.hpp"
 
 namespace cbq::mc {
 
+/// A paused, resumable engine run.
+///
+/// Engine::start() builds the session skeleton (managers, solvers,
+/// transfers — no search); resume() runs until a definitive verdict, a
+/// permanent give-up (both report done = true), or the slice budget
+/// expires (done = false). A paused session keeps all working state —
+/// the unrolled incremental solver, the frontier and sweep-session pair
+/// cache, the BDD reached set — so resume() continues where the previous
+/// slice stopped, arbitrarily many times. A session resumed in N slices
+/// reaches the same verdict (and counterexample) as one uninterrupted
+/// run; only the wall-clock split differs.
+///
+/// The budget passed to resume() carries the caller's cooperative
+/// cancellation (the scheduler's token), the slice deadline and node
+/// limit. Engines fold their own option time limits on top, measured
+/// against the session's total accumulated time, so a session whose own
+/// limit fired reports done rather than pausing forever.
+///
+/// The Network handed to start() must outlive the session, and a session
+/// must not run concurrently with other readers of that Network (const
+/// manager reads stamp mutable scratch arenas).
+class Session {
+ public:
+  virtual ~Session() = default;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Runs until verdict, permanent give-up, or budget expiry. After a
+  /// done report, further calls return the same final Progress.
+  Progress resume(const portfolio::Budget& budget = {}) {
+    if (final_.has_value()) return *final_;
+    util::Timer timer;
+    Progress p = doResume(budget);
+    p.sliceSeconds = timer.seconds();
+    totalSeconds_ += p.sliceSeconds;
+    p.result.seconds = totalSeconds_;
+    p.effortDelta = p.effort - std::min(lastEffort_, p.effort);
+    lastEffort_ = p.effort;
+    if (p.done) final_ = p;
+    return p;
+  }
+
+ protected:
+  Session() = default;
+
+  virtual Progress doResume(const portfolio::Budget& budget) = 0;
+
+  /// Wall time accumulated across every finished resume() — what a
+  /// session measures its own option time limit against.
+  [[nodiscard]] double totalSeconds() const { return totalSeconds_; }
+
+  /// Folds an engine-option time limit into the slice budget: the
+  /// remaining own allowance is the limit minus time already consumed.
+  /// Returns nullopt when the own limit is spent (the caller should
+  /// report done). `limitSeconds` <= 0 means no own limit.
+  [[nodiscard]] std::optional<portfolio::Budget> sliceBudget(
+      const portfolio::Budget& budget, double limitSeconds) const {
+    if (limitSeconds <= 0.0) return budget;
+    const double remaining = limitSeconds - totalSeconds_;
+    if (remaining <= 0.0) return std::nullopt;
+    return budget.tightened(remaining);
+  }
+
+ private:
+  std::optional<Progress> final_;
+  double totalSeconds_ = 0.0;
+  std::uint64_t lastEffort_ = 0;
+};
+
 /// Common interface: every engine checks the invariant of a network.
 ///
-/// The budget carries the caller's cooperative cancellation (the portfolio
-/// runner's race token), wall-clock deadline and node limit. Every engine
-/// folds its own option limits on top (Budget::tightened) and polls the
-/// result in each fixpoint / unrolling / enumeration loop, reporting
-/// Unknown when it fires.
+/// The primitive operation is start(): it opens a persistent Session
+/// that a scheduler resumes in slices (see Session above). check() is
+/// the one-shot wrapper — start() and resume to completion under one
+/// budget — kept for callers that do not schedule.
 class Engine {
  public:
   virtual ~Engine() = default;
   [[nodiscard]] virtual std::string name() const = 0;
-  CheckResult check(const Network& net,
-                    const portfolio::Budget& budget = {}) {
-    return doCheck(net, budget);
-  }
 
- protected:
-  virtual CheckResult doCheck(const Network& net,
-                              const portfolio::Budget& budget) = 0;
+  /// Opens a session on `net`. The session is self-contained (options
+  /// are copied in) and may outlive the engine, but not `net`.
+  [[nodiscard]] virtual std::unique_ptr<Session> start(
+      const Network& net) const = 0;
+
+  CheckResult check(const Network& net,
+                    const portfolio::Budget& budget = {}) const {
+    const auto session = start(net);
+    for (;;) {
+      Progress p = session->resume(budget);
+      if (p.done || budget.exhausted()) return std::move(p.result);
+    }
+  }
 };
 
 /// Shared resource bounds for the fixpoint engines. The time limit is
-/// enforced through the run Budget (tightened at check() entry), not by a
-/// per-engine ad-hoc deadline.
+/// measured against the session's total accumulated resume() time and
+/// folded into each slice budget, not enforced by an ad-hoc deadline.
 struct ReachLimits {
   int maxIterations = 10000;
   double timeLimitSeconds = 60.0;
@@ -89,9 +168,10 @@ class CircuitQuantReach final : public Engine {
       : opts_(opts) {}
   [[nodiscard]] std::string name() const override { return "cbq-reach"; }
 
+  [[nodiscard]] std::unique_ptr<Session> start(
+      const Network& net) const override;
+
  private:
-  CheckResult doCheck(const Network& net,
-                      const portfolio::Budget& budget) override;
   CircuitQuantReachOptions opts_;
 };
 
@@ -117,9 +197,10 @@ class CircuitQuantForwardReach final : public Engine {
       : opts_(opts) {}
   [[nodiscard]] std::string name() const override { return "cbq-fwd"; }
 
+  [[nodiscard]] std::unique_ptr<Session> start(
+      const Network& net) const override;
+
  private:
-  CheckResult doCheck(const Network& net,
-                      const portfolio::Budget& budget) override;
   CircuitQuantForwardOptions opts_;
 };
 
@@ -135,9 +216,10 @@ class BddBackwardReach final : public Engine {
   explicit BddBackwardReach(BddReachOptions opts = {}) : opts_(opts) {}
   [[nodiscard]] std::string name() const override { return "bdd-bwd"; }
 
+  [[nodiscard]] std::unique_ptr<Session> start(
+      const Network& net) const override;
+
  private:
-  CheckResult doCheck(const Network& net,
-                      const portfolio::Budget& budget) override;
   BddReachOptions opts_;
 };
 
@@ -146,9 +228,10 @@ class BddForwardReach final : public Engine {
   explicit BddForwardReach(BddReachOptions opts = {}) : opts_(opts) {}
   [[nodiscard]] std::string name() const override { return "bdd-fwd"; }
 
+  [[nodiscard]] std::unique_ptr<Session> start(
+      const Network& net) const override;
+
  private:
-  CheckResult doCheck(const Network& net,
-                      const portfolio::Budget& budget) override;
   BddReachOptions opts_;
 };
 
@@ -164,9 +247,10 @@ class Bmc final : public Engine {
   explicit Bmc(BmcOptions opts = {}) : opts_(opts) {}
   [[nodiscard]] std::string name() const override { return "bmc"; }
 
+  [[nodiscard]] std::unique_ptr<Session> start(
+      const Network& net) const override;
+
  private:
-  CheckResult doCheck(const Network& net,
-                      const portfolio::Budget& budget) override;
   BmcOptions opts_;
 };
 
@@ -181,9 +265,10 @@ class KInduction final : public Engine {
   explicit KInduction(InductionOptions opts = {}) : opts_(opts) {}
   [[nodiscard]] std::string name() const override { return "k-induction"; }
 
+  [[nodiscard]] std::unique_ptr<Session> start(
+      const Network& net) const override;
+
  private:
-  CheckResult doCheck(const Network& net,
-                      const portfolio::Budget& budget) override;
   InductionOptions opts_;
 };
 
@@ -199,9 +284,10 @@ class AllSatPreimageReach final : public Engine {
   explicit AllSatPreimageReach(AllSatReachOptions opts = {}) : opts_(opts) {}
   [[nodiscard]] std::string name() const override { return "allsat-reach"; }
 
+  [[nodiscard]] std::unique_ptr<Session> start(
+      const Network& net) const override;
+
  private:
-  CheckResult doCheck(const Network& net,
-                      const portfolio::Budget& budget) override;
   AllSatReachOptions opts_;
 };
 
@@ -216,9 +302,10 @@ class HybridReach final : public Engine {
   explicit HybridReach(HybridReachOptions opts = {}) : opts_(opts) {}
   [[nodiscard]] std::string name() const override { return "hybrid-reach"; }
 
+  [[nodiscard]] std::unique_ptr<Session> start(
+      const Network& net) const override;
+
  private:
-  CheckResult doCheck(const Network& net,
-                      const portfolio::Budget& budget) override;
   HybridReachOptions opts_;
 };
 

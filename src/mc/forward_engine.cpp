@@ -2,7 +2,10 @@
 // variant the paper's §1 alludes to. Image computation quantifies state
 // AND input variables out of TR(s,i,s') ∧ F(s), the worst case for
 // quantifier elimination, which is precisely why it makes a good stress
-// test of the merge/optimization machinery.
+// test of the merge/optimization machinery. Runs as a persistent session:
+// the working manager, onion rings, reached set and the run-wide sweep
+// session survive a budget pause, and an interrupted image computation is
+// retried from the same frontier on the next resume.
 
 #include <algorithm>
 
@@ -11,7 +14,6 @@
 #include "quant/quantifier.hpp"
 #include "sat/solver.hpp"
 #include "sweep/sweep_context.hpp"
-#include "util/timer.hpp"
 
 namespace cbq::mc {
 
@@ -31,8 +33,7 @@ struct ForwardModel {
   std::vector<aig::VarSub> renameBack;  ///< s'_j -> pi(s_j)
 };
 
-ForwardModel buildModel(const Network& net) {
-  ForwardModel m;
+void buildModel(const Network& net, ForwardModel& m) {
   std::vector<Lit> roots(net.next.begin(), net.next.end());
   roots.push_back(net.bad);
   auto moved = m.mgr.transferFrom(net.aig, roots);
@@ -61,7 +62,6 @@ ForwardModel buildModel(const Network& net) {
   m.quantSet.assign(net.stateVars.begin(), net.stateVars.end());
   m.quantSet.insert(m.quantSet.end(), net.inputVars.begin(),
                     net.inputVars.end());
-  return m;
 }
 
 /// Backward trace extraction over forward onion rings: pick a bad state
@@ -112,109 +112,186 @@ std::optional<Trace> extractTrace(const Network& net, ForwardModel& m,
   return trace;
 }
 
-}  // namespace
+class ForwardReachSession final : public Session {
+ public:
+  ForwardReachSession(const Network& net,
+                      const CircuitQuantForwardOptions& opts)
+      : net_(&net), opts_(opts) {
+    res_.engine = "cbq-fwd";
+    buildModel(net, m_);
+    rings_.assign(1, m_.initCube);  // onion rings R_0, R_1, ...
+    reached_ = m_.initCube;
+    frontier_ = m_.initCube;
+    // Run-wide persistent sweep session for the bad-intersection and
+    // fixpoint queries: the forward engine never compacts its manager, so
+    // the ring/reached cones encode once and stay. Each query focuses the
+    // solver on its own cone, keeping per-check cost bounded by the live
+    // state sets rather than by the accumulated scratch.
+    session_.setInterrupt(
+        [this] { return curBud_ != nullptr && curBud_->exhausted(); });
+    session_.bind(m_.mgr);
+  }
 
-CheckResult CircuitQuantForwardReach::doCheck(
-    const Network& net, const portfolio::Budget& budget) {
-  util::Timer timer;
-  const portfolio::Budget bud =
-      budget.tightened(opts_.limits.timeLimitSeconds);
-  CheckResult res;
-  res.engine = name();
-  res.verdict = Verdict::Unknown;
+  [[nodiscard]] std::string name() const override { return res_.engine; }
 
-  ForwardModel m = buildModel(net);
-  std::vector<Lit> rings{m.initCube};  // onion rings R_0, R_1, ...
-  Lit reached = m.initCube;
-  Lit frontier = m.initCube;
+ protected:
+  Progress doResume(const portfolio::Budget& budget) override {
+    const auto bud = sliceBudget(budget, opts_.limits.timeLimitSeconds);
+    if (!bud) return snapshot(Verdict::Unknown, true);
+    curBud_ = &*bud;
+    Progress p = run(*bud);
+    curBud_ = nullptr;
+    return p;
+  }
 
-  // Run-wide persistent sweep session for the bad-intersection and
-  // fixpoint queries: the forward engine never compacts its manager, so
-  // the ring/reached cones encode once and stay. Each query focuses the
-  // solver on its own cone, keeping per-check cost bounded by the live
-  // state sets rather than by the accumulated scratch.
-  sweep::SweepContext session;
-  session.setInterrupt([&bud] { return bud.exhausted(); });
-  session.bind(m.mgr);
+ private:
+  enum class Phase : std::uint8_t { Bad, Guard, Img, Fix };
 
-  auto intersectsBad = [&](Lit stateSet) {
-    const Lit q = m.mgr.mkAnd(stateSet, m.bad);
-    const Lit qRoots[] = {q};
-    session.cnf().focusOn(qRoots);
-    return cnf::checkSat(session.cnf(), q) == cnf::Verdict::Holds;
-  };
-
-  int iter = 0;
-  for (;;) {
-    if (intersectsBad(frontier)) {
-      res.verdict = Verdict::Unsafe;
-      res.steps = iter;
-      res.cex = extractTrace(net, m, rings, iter);
-      break;
-    }
-    if (iter >= opts_.limits.maxIterations || bud.exhausted()) {
-      res.steps = iter;
-      break;
-    }
-    {
-      const Lit rr[] = {reached};
-      const std::size_t sz = m.mgr.coneSize(rr);
-      res.stats.high("reach.max_reached_cone", static_cast<double>(sz));
-      if (sz > opts_.hardConeLimit || bud.nodesExceeded(sz)) break;
-    }
-    ++iter;
-
-    // Image: ∃(s, i) . TR ∧ F — both variable classes at once (§1).
-    // Deliberately NOT the run session: forward images sweep an endless
-    // stream of short-lived scratch cones, and a SAT (refuting) answer in
-    // a monolithic database must assign every accumulated variable — the
-    // per-check cost grows with the run. Throwaway cone-local solvers are
-    // the cheaper trade here; the backward engine, whose queries genuinely
-    // range over the live reached set, is where the session pays off.
-    quant::QuantOptions qopts = opts_.quant;
-    qopts.interrupt = [&bud] { return bud.exhausted(); };
-    quant::Quantifier q(m.mgr, qopts);
-    const Lit conj = m.mgr.mkAnd(m.tr, frontier);
-    auto r = q.quantifyAll(conj, m.quantSet);
-    Lit imgNs = r.f;
-    bool interrupted = bud.exhausted();  // quantifyAll stopped mid-way
-    for (const VarId v : r.residual) {
-      if (interrupted) break;  // forced expansion has no growth bound
-      imgNs = q.quantifyVarForced(imgNs, v);
-      interrupted = bud.exhausted();
-    }
-    res.stats.merge(q.stats());
-    if (interrupted) {
-      res.steps = iter;
-      break;
-    }
-    const Lit img = m.mgr.compose(imgNs, m.renameBack);
-
-    // Fixpoint?
-    {
-      const Lit fpRoots[] = {img, reached};
-      session.cnf().focusOn(fpRoots);
-      res.stats.add("reach.fixpoint_checks");
-      if (cnf::checkImplies(session.cnf(), img, reached) ==
-          cnf::Verdict::Holds) {
-        res.verdict = Verdict::Safe;
-        res.steps = iter;
-        break;
+  Progress run(const portfolio::Budget& bud) {
+    committedThisSlice_ = 0;
+    for (;;) {
+      if (bud.exhausted()) return snapshot(Verdict::Unknown, false);
+      switch (phase_) {
+        case Phase::Bad: {
+          const Lit q = m_.mgr.mkAnd(frontier_, m_.bad);
+          const Lit qRoots[] = {q};
+          session_.cnf().focusOn(qRoots);
+          const cnf::Verdict sat = cnf::checkSat(session_.cnf(), q);
+          if (sat == cnf::Verdict::Unknown)  // interrupted: retry
+            return snapshot(Verdict::Unknown, false);
+          if (sat == cnf::Verdict::Holds) {
+            res_.cex = extractTrace(*net_, m_, rings_, iter_);
+            return snapshot(Verdict::Unsafe, true);
+          }
+          phase_ = Phase::Guard;
+          break;
+        }
+        case Phase::Guard: {
+          if (iter_ >= opts_.limits.maxIterations)
+            return snapshot(Verdict::Unknown, true);
+          const Lit rr[] = {reached_};
+          const std::size_t sz = m_.mgr.coneSize(rr);
+          res_.stats.high("reach.max_reached_cone",
+                          static_cast<double>(sz));
+          if (sz > opts_.hardConeLimit || bud.nodesExceeded(sz))
+            return snapshot(Verdict::Unknown, true);
+          ++iter_;
+          phase_ = Phase::Img;
+          break;
+        }
+        case Phase::Img: {
+          // Image: ∃(s, i) . TR ∧ F — both variable classes at once (§1).
+          // Deliberately NOT the run session: forward images sweep an
+          // endless stream of short-lived scratch cones, and a SAT
+          // (refuting) answer in a monolithic database must assign every
+          // accumulated variable — the per-check cost grows with the run.
+          // Throwaway cone-local solvers are the cheaper trade here; the
+          // backward engine, whose queries genuinely range over the live
+          // reached set, is where the session pays off.
+          //
+          // The partially-quantified image survives a pause: variables
+          // already eliminated stay eliminated (imgWork_/imgVars_), so a
+          // session sliced finer than one whole image still converges
+          // instead of restarting the quantification every slice.
+          if (!imgActive_) {
+            imgWork_ = m_.mgr.mkAnd(m_.tr, frontier_);
+            imgVars_ = m_.quantSet;
+            imgActive_ = true;
+          }
+          quant::QuantOptions qopts = opts_.quant;
+          qopts.interrupt = [&bud] { return bud.exhausted(); };
+          quant::Quantifier q(m_.mgr, qopts);
+          auto r = q.quantifyAll(imgWork_, imgVars_);
+          imgWork_ = r.f;
+          imgVars_ = r.residual;
+          bool interrupted = bud.exhausted();  // quantifyAll stopped early
+          while (!interrupted && !imgVars_.empty()) {
+            // Forced expansion of abort survivors: no growth bound.
+            imgWork_ = q.quantifyVarForced(imgWork_, imgVars_.front());
+            imgVars_.erase(imgVars_.begin());
+            interrupted = bud.exhausted();
+          }
+          res_.stats.merge(q.stats());
+          if (interrupted && !imgVars_.empty())  // pause mid-image
+            return snapshot(Verdict::Unknown, false);
+          img_ = m_.mgr.compose(imgWork_, m_.renameBack);
+          imgActive_ = false;
+          phase_ = Phase::Fix;
+          break;
+        }
+        case Phase::Fix: {
+          const Lit fpRoots[] = {img_, reached_};
+          session_.cnf().focusOn(fpRoots);
+          res_.stats.add("reach.fixpoint_checks");
+          const cnf::Verdict fp =
+              cnf::checkImplies(session_.cnf(), img_, reached_);
+          if (fp == cnf::Verdict::Holds)
+            return snapshot(Verdict::Safe, true);
+          if (fp == cnf::Verdict::Unknown)  // interrupted: retry
+            return snapshot(Verdict::Unknown, false);
+          frontier_ = img_;
+          reached_ = m_.mgr.mkOr(reached_, img_);
+          rings_.push_back(frontier_);
+          {
+            const Lit fr[] = {frontier_};
+            res_.stats.high("reach.max_frontier_cone",
+                            static_cast<double>(m_.mgr.coneSize(fr)));
+          }
+          {
+            const Lit live[] = {reached_, m_.tr, m_.bad};
+            session_.recycleIfBloated(m_.mgr.coneSize(live));
+          }
+          ++committedThisSlice_;
+          phase_ = Phase::Bad;
+          break;
+        }
       }
     }
-    frontier = img;
-    reached = m.mgr.mkOr(reached, img);
-    rings.push_back(frontier);
-    res.stats.high("reach.max_frontier_cone",
-                   static_cast<double>(m.mgr.coneSize(frontier)));
-    {
-      const Lit live[] = {reached, m.tr, m.bad};
-      session.recycleIfBloated(m.mgr.coneSize(live));
-    }
   }
-  session.exportStats(res.stats);
-  res.seconds = timer.seconds();
-  return res;
+
+  Progress snapshot(Verdict v, bool done) {
+    Progress p;
+    p.done = done;
+    p.result = res_;
+    p.result.verdict = v;
+    p.result.steps = iter_;
+    session_.exportStats(p.result.stats);
+    p.bound = iter_;
+    p.advanced = committedThisSlice_ > 0;
+    {
+      const Lit fr[] = {frontier_};
+      p.frontierCone = m_.mgr.coneSize(fr);
+    }
+    p.effort =
+        static_cast<std::uint64_t>(p.result.stats.count("sat.conflicts") +
+                                   p.result.stats.count("sat.decisions") +
+                                   p.result.stats.count("sat.propagations"));
+    return p;
+  }
+
+  const Network* net_;
+  CircuitQuantForwardOptions opts_;
+  CheckResult res_;
+  ForwardModel m_;
+  sweep::SweepContext session_;
+  std::vector<Lit> rings_;
+  Lit reached_ = aig::kFalse;
+  Lit frontier_ = aig::kFalse;
+  Lit img_ = aig::kFalse;      ///< valid in Phase::Fix
+  Lit imgWork_ = aig::kFalse;  ///< in-flight image, partially quantified
+  std::vector<VarId> imgVars_;  ///< variables still to eliminate from it
+  bool imgActive_ = false;
+  int iter_ = 0;
+  int committedThisSlice_ = 0;
+  Phase phase_ = Phase::Bad;
+  const portfolio::Budget* curBud_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<Session> CircuitQuantForwardReach::start(
+    const Network& net) const {
+  return std::make_unique<ForwardReachSession>(net, opts_);
 }
 
 }  // namespace cbq::mc

@@ -7,6 +7,7 @@
 // inputs. Backward reachability (§3 of the paper) starts from `bad` and
 // iterates pre-images until a fixpoint or an initial-state intersection.
 
+#include <algorithm>
 #include <cassert>
 #include <string>
 #include <unordered_map>
@@ -34,6 +35,28 @@ struct Network {
     a.reserve(stateVars.size());
     for (std::size_t i = 0; i < stateVars.size(); ++i)
       a.emplace(stateVars[i], init[i]);
+    return a;
+  }
+
+  /// One past the largest state/input VarId — the size a dense
+  /// per-variable table needs to cover every network variable.
+  [[nodiscard]] std::size_t varBound() const {
+    std::size_t bound = 0;
+    for (const aig::VarId v : stateVars)
+      bound = std::max(bound, static_cast<std::size_t>(v) + 1);
+    for (const aig::VarId v : inputVars)
+      bound = std::max(bound, static_cast<std::size_t>(v) + 1);
+    return bound;
+  }
+
+  /// Dense variant of initAssignment(): value indexed directly by VarId
+  /// (state variables carry their reset value, everything else false).
+  /// Sized by varBound() so the engines' replay/init paths can write
+  /// per-step input values in place instead of rebuilding a hash map.
+  [[nodiscard]] std::vector<bool> initAssignmentDense() const {
+    std::vector<bool> a(varBound(), false);
+    for (std::size_t i = 0; i < stateVars.size(); ++i)
+      a[stateVars[i]] = init[i];
     return a;
   }
 
@@ -78,6 +101,7 @@ class NetworkBuilder {
   /// Declares a latch with its initial value; next-state set later.
   aig::Lit addLatch(bool initValue) {
     const aig::VarId v = nextVar_++;
+    latchIndex_.emplace(v, net_.stateVars.size());
     net_.stateVars.push_back(v);
     net_.init.push_back(initValue);
     net_.next.push_back(aig::kFalse);
@@ -97,13 +121,9 @@ class NetworkBuilder {
   /// Sets the next-state function of the latch whose literal is `latch`.
   void setNextOf(aig::Lit latch, aig::Lit f) {
     const aig::VarId v = net_.aig.piVar(latch.node());
-    for (std::size_t i = 0; i < net_.stateVars.size(); ++i) {
-      if (net_.stateVars[i] == v) {
-        net_.next[i] = f;
-        return;
-      }
-    }
-    assert(false && "literal is not a declared latch");
+    const auto it = latchIndex_.find(v);
+    assert(it != latchIndex_.end() && "literal is not a declared latch");
+    if (it != latchIndex_.end()) net_.next[it->second] = f;
   }
 
   void setBad(aig::Lit bad) { net_.bad = bad; }
@@ -118,6 +138,9 @@ class NetworkBuilder {
  private:
   Network net_;
   aig::VarId nextVar_ = 0;
+  /// var -> stateVars index, so setNextOf is O(1) instead of a linear
+  /// scan per call (quadratic over wide generated families).
+  std::unordered_map<aig::VarId, std::size_t> latchIndex_;
 };
 
 }  // namespace cbq::mc

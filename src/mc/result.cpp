@@ -6,23 +6,24 @@ namespace cbq::mc {
 
 bool replayHitsBad(const Network& net, const Trace& trace) {
   if (trace.inputs.empty()) return false;
-  std::unordered_map<aig::VarId, bool> state = net.initAssignment();
+  // Dense per-VarId assignment (state + inputs written in place) instead
+  // of one hash map per step per latch.
+  std::vector<bool> state = net.initAssignmentDense();
 
   for (std::size_t t = 0; t < trace.inputs.size(); ++t) {
     // Assignment for this step: current state + this step's inputs.
-    std::unordered_map<aig::VarId, bool> a = state;
+    std::vector<bool> a = state;
     for (const aig::VarId v : net.inputVars) {
       auto it = trace.inputs[t].find(v);
-      a.emplace(v, it != trace.inputs[t].end() && it->second);
+      a[v] = it != trace.inputs[t].end() && it->second;
     }
     const bool badNow = net.aig.evaluate(net.bad, a);
     if (t + 1 == trace.inputs.size()) return badNow;
 
     // Step the latches.
-    std::unordered_map<aig::VarId, bool> nextState;
-    nextState.reserve(net.numLatches());
+    std::vector<bool> nextState(state.size(), false);
     for (std::size_t i = 0; i < net.numLatches(); ++i)
-      nextState.emplace(net.stateVars[i], net.aig.evaluate(net.next[i], a));
+      nextState[net.stateVars[i]] = net.aig.evaluate(net.next[i], a);
     state = std::move(nextState);
   }
   return false;

@@ -15,15 +15,37 @@ namespace {
 using aig::Lit;
 using aig::VarId;
 
+/// Pause/retry continuation for an input elimination. A budget pause
+/// inside an eliminator returns nullopt; the session retries the same
+/// request on its next resume (same formula — the pre-image compose is
+/// strashed and nothing else ran in between), and the carry lets the
+/// retry continue from the work already done instead of starting the
+/// elimination over (which could otherwise never fit in one slice).
+struct EliminateCarry {
+  bool active = false;
+  Lit formula = aig::kFalse;  ///< request this continuation belongs to
+  Lit work = aig::kFalse;     ///< partially eliminated formula / cube union
+  std::vector<VarId> vars;    ///< variables still to eliminate (quant)
+  int count = 0;              ///< enumerations so far (all-SAT)
+  /// The request overflowed its enumeration bound: a permanent fact about
+  /// this formula. Remembered so a retry (the session cannot tell an
+  /// overflow whose slice also expired from a plain pause) fails in O(1)
+  /// instead of re-running the doomed enumeration every slice.
+  bool overflowed = false;
+};
+
 /// All-solution SAT elimination of `vars` from `f` with Ganai-style
 /// circuit cofactoring: every satisfying assignment is generalized by
 /// cofactoring the formula against the model's *input* values, yielding a
 /// whole state-set circuit per enumeration step. Polls `budget` per
 /// enumeration (and inside each solve) so a portfolio cancel lands fast.
+/// A pause stores the cube union in `carry`; the retry blocks it with one
+/// ¬union clause and enumerates only the uncovered remainder.
 std::optional<Lit> allSatEliminate(aig::Aig& mgr, Lit f,
                                    std::span<const VarId> vars,
                                    int maxEnum, util::Stats& stats,
-                                   const portfolio::Budget& budget) {
+                                   const portfolio::Budget& budget,
+                                   EliminateCarry& carry) {
   // Restrict to variables actually present.
   std::vector<VarId> live;
   {
@@ -34,6 +56,15 @@ std::optional<Lit> allSatEliminate(aig::Aig& mgr, Lit f,
   }
   if (live.empty() || f.isConstant()) return f;
 
+  Lit result = aig::kFalse;
+  int count = 0;
+  if (carry.active && carry.formula == f) {
+    if (carry.overflowed) return std::nullopt;  // permanent; carry kept
+    result = carry.work;
+    count = carry.count;
+  }
+  carry.active = false;
+
   // The blocking clauses asserted below are only valid inside this
   // enumeration, so this is the one elimination routine that cannot share
   // the run's persistent session solver; it still reports its effort.
@@ -42,23 +73,24 @@ std::optional<Lit> allSatEliminate(aig::Aig& mgr, Lit f,
   cnf::AigCnf cnf(mgr, solver);
   const sat::Lit target = cnf.litFor(f);
   const auto exportEffort = [&] { sat::exportEffort(stats, solver); };
+  const auto pause = [&] {
+    carry = {true, f, result, {}, count};
+    exportEffort();
+    return std::nullopt;
+  };
+  // States already covered by a previous, paused enumeration.
+  if (result != aig::kFalse) solver.addClause({!cnf.litFor(result)});
 
-  Lit result = aig::kFalse;
-  int count = 0;
   for (;;) {
-    if (budget.exhausted()) {
-      exportEffort();
-      return std::nullopt;
-    }
+    if (budget.exhausted()) return pause();
     const sat::Lit assumptions[] = {target};
     const sat::Status st = solver.solve(assumptions);
     if (st == sat::Status::Unsat) break;
-    if (st == sat::Status::Undef) {  // interrupted
-      exportEffort();
-      return std::nullopt;
-    }
+    if (st == sat::Status::Undef)  // interrupted mid-solve
+      return pause();
     if (++count > maxEnum) {
       stats.add("allsat.enum_overflow");
+      carry = {true, f, aig::kFalse, {}, 0, true};  // permanent give-up
       exportEffort();
       return std::nullopt;
     }
@@ -80,67 +112,87 @@ std::optional<Lit> allSatEliminate(aig::Aig& mgr, Lit f,
 
 }  // namespace
 
-CheckResult CircuitQuantReach::doCheck(const Network& net,
-                                       const portfolio::Budget& budget) {
+std::unique_ptr<Session> CircuitQuantReach::start(const Network& net) const {
+  // The eliminator captures the options by value: the session is
+  // self-contained and may outlive the engine. The mutable carry keeps
+  // the partially-quantified pre-image across a budget pause, so slices
+  // finer than one whole elimination still converge.
   const auto eliminate =
-      [&](const detail::PreImageRequest& req) -> std::optional<Lit> {
-    quant::QuantOptions qopts = opts_.quant;
+      [quantOpts = opts_.quant, carry = EliminateCarry{}](
+          const detail::PreImageRequest& req) mutable -> std::optional<Lit> {
+    quant::QuantOptions qopts = quantOpts;
     qopts.interrupt = [b = req.budget] { return b->exhausted(); };
     qopts.context = req.session;  // run-wide clause database + pair cache
     quant::Quantifier q(*req.mgr, qopts);
-    auto r = q.quantifyAll(req.formula, net.inputVars);
-    Lit f = r.f;
+    Lit f = req.formula;
+    std::vector<VarId> vars(req.net->inputVars);
+    if (carry.active && carry.formula == req.formula) {
+      f = carry.work;
+      vars = std::move(carry.vars);
+    }
+    carry.active = false;
+    auto r = q.quantifyAll(f, vars);
+    f = r.f;
+    vars = std::move(r.residual);
     // A standalone circuit engine must finish the job: aborted variables
     // are expanded without the growth bound.
-    for (const VarId v : r.residual) {
-      if (req.budget->exhausted()) {
-        req.stats->merge(q.stats());
-        return std::nullopt;
-      }
-      f = q.quantifyVarForced(f, v);
+    bool interrupted = req.budget->exhausted();
+    while (!interrupted && !vars.empty()) {
+      f = q.quantifyVarForced(f, vars.front());
+      vars.erase(vars.begin());
+      interrupted = req.budget->exhausted();
     }
     req.stats->merge(q.stats());
+    if (interrupted && !vars.empty()) {
+      carry = {true, req.formula, f, std::move(vars), 0};
+      return std::nullopt;
+    }
     return f;
   };
-  return detail::backwardReach(net, name(), opts_.limits,
-                               opts_.compaction, opts_.hardConeLimit,
-                               eliminate, budget);
+  return std::make_unique<detail::BackwardReachSession>(
+      net, name(), opts_.limits, opts_.compaction, opts_.hardConeLimit,
+      eliminate);
 }
 
-CheckResult AllSatPreimageReach::doCheck(const Network& net,
-                                         const portfolio::Budget& budget) {
+std::unique_ptr<Session> AllSatPreimageReach::start(const Network& net) const {
   const auto eliminate =
-      [&](const detail::PreImageRequest& req) -> std::optional<Lit> {
-    return allSatEliminate(*req.mgr, req.formula, net.inputVars,
-                           opts_.maxEnumPerImage, *req.stats, *req.budget);
+      [maxEnum = opts_.maxEnumPerImage, carry = EliminateCarry{}](
+          const detail::PreImageRequest& req) mutable -> std::optional<Lit> {
+    return allSatEliminate(*req.mgr, req.formula, req.net->inputVars,
+                           maxEnum, *req.stats, *req.budget, carry);
   };
-  return detail::backwardReach(net, name(), opts_.limits, CompactionPolicy{},
-                               /*hardConeLimit=*/2'000'000, eliminate,
-                               budget);
+  return std::make_unique<detail::BackwardReachSession>(
+      net, name(), opts_.limits, CompactionPolicy{},
+      /*hardConeLimit=*/2'000'000, eliminate);
 }
 
-CheckResult HybridReach::doCheck(const Network& net,
-                                 const portfolio::Budget& budget) {
+std::unique_ptr<Session> HybridReach::start(const Network& net) const {
   const auto eliminate =
-      [&](const detail::PreImageRequest& req) -> std::optional<Lit> {
+      [quantOpts = opts_.quant, maxEnum = opts_.maxEnumPerImage,
+       carry = EliminateCarry{}](
+          const detail::PreImageRequest& req) mutable -> std::optional<Lit> {
     // Phase 1 (§4): partial circuit quantification — cheap variables are
-    // eliminated, blow-up-prone ones abort and stay.
-    quant::QuantOptions qopts = opts_.quant;
+    // eliminated, blow-up-prone ones abort and stay. A pause mid-phase-2
+    // retries phase 1, which replays from the warm session pair cache and
+    // reproduces the same partial result, re-keying the phase-2 carry.
+    quant::QuantOptions qopts = quantOpts;
     qopts.interrupt = [b = req.budget] { return b->exhausted(); };
     qopts.context = req.session;  // shared with the fixpoint checks
     quant::Quantifier q(*req.mgr, qopts);
-    auto r = q.quantifyAll(req.formula, net.inputVars);
+    auto r = q.quantifyAll(req.formula, req.net->inputVars);
     req.stats->merge(q.stats());
+    if (req.budget->exhausted() && !r.residual.empty())
+      return std::nullopt;  // interrupted mid-quantification: retry
     req.stats->add("hybrid.residual_vars",
                    static_cast<std::int64_t>(r.residual.size()));
     if (r.residual.empty()) return r.f;
     // Phase 2: the remaining decision variables go to all-SAT enumeration.
-    return allSatEliminate(*req.mgr, r.f, r.residual, opts_.maxEnumPerImage,
-                           *req.stats, *req.budget);
+    return allSatEliminate(*req.mgr, r.f, r.residual, maxEnum, *req.stats,
+                           *req.budget, carry);
   };
-  return detail::backwardReach(net, name(), opts_.limits, CompactionPolicy{},
-                               /*hardConeLimit=*/2'000'000, eliminate,
-                               budget);
+  return std::make_unique<detail::BackwardReachSession>(
+      net, name(), opts_.limits, CompactionPolicy{},
+      /*hardConeLimit=*/2'000'000, eliminate);
 }
 
 PreprocessResult preprocessQuantifyInputs(const Network& net,

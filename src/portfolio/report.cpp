@@ -96,6 +96,7 @@ void writeJson(const BatchSummary& summary, std::ostream& out) {
           << "\"seconds\": " << jsonNumber(r.seconds) << ", "
           << "\"winner\": " << (r.winner ? "true" : "false") << ", "
           << "\"cancelled\": " << (r.cancelled ? "true" : "false") << ", "
+          << "\"slices\": " << r.slices << ", "
           << "\"propagations\": " << r.stats.count("sat.propagations")
           << ", "
           << "\"decisions\": " << r.stats.count("sat.decisions") << ", "

@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "portfolio/time_slice.hpp"
 #include "util/timer.hpp"
 
 namespace cbq::portfolio {
@@ -23,6 +24,12 @@ PortfolioRunner::PortfolioRunner(PortfolioOptions opts)
 }
 
 PortfolioResult PortfolioRunner::run(const mc::Network& net) const {
+  if (opts_.schedule == ScheduleMode::Slice)
+    return TimeSliceScheduler(opts_).run(net);
+  return runRace(net);
+}
+
+PortfolioResult PortfolioRunner::runRace(const mc::Network& net) const {
   util::Timer wall;
   const std::size_t n = opts_.engines.size();
 
@@ -99,6 +106,7 @@ PortfolioResult PortfolioRunner::run(const mc::Network& net) const {
     run.seconds = results[i].seconds;
     run.winner = static_cast<int>(i) == winnerIdx;
     run.cancelled = wasCancelled[i] != 0;
+    run.slices = 1;  // race mode: one uninterrupted run per engine
     run.stats = results[i].stats;
   }
 

@@ -19,6 +19,12 @@
 
 namespace cbq::portfolio {
 
+/// How the portfolio spends its cores on one problem.
+enum class ScheduleMode : std::uint8_t {
+  Race,   ///< thread-per-engine race; losers are cancelled (PR 2)
+  Slice,  ///< cooperative time slicing over persistent engine sessions
+};
+
 struct PortfolioOptions {
   /// Engine names (mc::engineNames()); empty means defaultPortfolio().
   std::vector<std::string> engines;
@@ -28,6 +34,13 @@ struct PortfolioOptions {
   /// failing replay demotes the verdict to Unknown (the engine keeps
   /// racing rivals instead of poisoning the result).
   bool verifyCex = true;
+
+  ScheduleMode schedule = ScheduleMode::Race;
+  // --- Slice mode only ---------------------------------------------------
+  int sliceWorkers = 1;  ///< worker threads resuming sessions (<=0: one)
+  double sliceInitialSeconds = 0.05;  ///< first slice per session
+  double sliceMinSeconds = 0.0125;    ///< demotion floor
+  double sliceMaxSeconds = 0.8;       ///< promotion cap
 };
 
 /// One engine's contribution to a portfolio run.
@@ -38,6 +51,7 @@ struct EngineRun {
   double seconds = 0.0;   ///< the engine's own wall time
   bool winner = false;
   bool cancelled = false;  ///< lost the race (token fired before it finished)
+  int slices = 0;          ///< resume() slices granted (slice mode; race: 1)
   util::Stats stats;
 };
 
@@ -65,11 +79,15 @@ class PortfolioRunner {
   /// Throws std::invalid_argument when an engine name is unknown.
   explicit PortfolioRunner(PortfolioOptions opts = {});
 
-  /// Races the engine set on `net`. Thread-safe; `net` is cloned per
-  /// engine before any thread starts.
+  /// Runs the engine set on `net` under the configured schedule: Race
+  /// fans one thread per engine, Slice hands the problem to the
+  /// cooperative TimeSliceScheduler (time_slice.hpp). Thread-safe; `net`
+  /// is cloned per engine before any engine starts.
   [[nodiscard]] PortfolioResult run(const mc::Network& net) const;
 
  private:
+  [[nodiscard]] PortfolioResult runRace(const mc::Network& net) const;
+
   PortfolioOptions opts_;
 };
 

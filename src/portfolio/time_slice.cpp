@@ -1,0 +1,199 @@
+#include "portfolio/time_slice.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "util/timer.hpp"
+
+namespace cbq::portfolio {
+
+namespace {
+
+/// One engine's scheduling state. The session migrates between worker
+/// threads across slices; the scheduler mutex hands it off.
+struct Slot {
+  std::unique_ptr<mc::Engine> engine;
+  std::unique_ptr<mc::Session> session;  ///< created on first slice
+  double sliceSeconds = 0.0;
+  mc::Progress last;       ///< most recent resume() report
+  int slices = 0;
+  bool finished = false;   ///< session reported done (or blew up)
+  bool threw = false;      ///< engine exception; verdict stays Unknown
+};
+
+}  // namespace
+
+TimeSliceScheduler::TimeSliceScheduler(PortfolioOptions opts)
+    : opts_(std::move(opts)) {
+  if (opts_.engines.empty()) opts_.engines = defaultPortfolio();
+  for (const std::string& name : opts_.engines) {
+    if (!mc::makeEngine(name))
+      throw std::invalid_argument("unknown engine: " + name);
+  }
+  if (opts_.sliceWorkers <= 0) opts_.sliceWorkers = 1;
+  if (opts_.sliceInitialSeconds <= 0.0) opts_.sliceInitialSeconds = 0.05;
+  if (opts_.sliceMinSeconds <= 0.0) opts_.sliceMinSeconds = 0.0125;
+  opts_.sliceMaxSeconds =
+      std::max(opts_.sliceMaxSeconds, opts_.sliceInitialSeconds);
+}
+
+PortfolioResult TimeSliceScheduler::run(const mc::Network& net) const {
+  util::Timer wall;
+  const std::size_t n = opts_.engines.size();
+
+  PortfolioResult out;
+  out.runs.resize(n);
+
+  // Engine-manager const reads stamp mutable scratch arenas, so every
+  // session owns a private clone, built sequentially up front. (A slice
+  // worker only touches a clone while holding that session's queue slot,
+  // so the clone also serves cross-thread session migration.)
+  std::vector<mc::Network> clones;
+  clones.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) clones.push_back(mc::cloneNetwork(net));
+
+  CancelToken token;
+  const Budget outer(opts_.timeLimitSeconds, opts_.nodeLimit, &token);
+
+  std::vector<Slot> slots(n);
+  std::deque<std::size_t> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    slots[i].engine = mc::makeEngine(opts_.engines[i]);
+    slots[i].sliceSeconds = opts_.sliceInitialSeconds;
+    ready.push_back(i);
+  }
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int winnerIdx = -1;
+  bool stop = false;    // definitive winner found: stop granting slices
+  int inFlight = 0;     // sessions currently resuming on a worker
+
+  auto worker = [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      cv.wait(lock, [&] { return stop || !ready.empty() || inFlight == 0; });
+      if (stop || ready.empty()) return;  // drained or race decided
+
+      const std::size_t i = ready.front();
+      ready.pop_front();
+      Slot& slot = slots[i];
+      ++inFlight;
+      lock.unlock();
+
+      mc::Progress p;
+      bool threw = false;
+      try {
+        if (!slot.session)
+          slot.session = slot.engine->start(clones[i]);
+        // The slice: the whole-problem budget (token + deadline + node
+        // limit) tightened to this session's current slice length.
+        p = slot.session->resume(outer.tightened(slot.sliceSeconds));
+      } catch (const std::exception&) {
+        // An engine blowing up must not kill the schedule.
+        threw = true;
+      }
+
+      // Referee outside the lock: a deep counterexample replay must not
+      // stall the other workers. The slot's clone is still private here.
+      bool replayRejected = false;
+      if (!threw && p.done && opts_.verifyCex &&
+          p.result.verdict == mc::Verdict::Unsafe &&
+          p.result.cex.has_value())
+        replayRejected = !mc::replayHitsBad(clones[i], *p.result.cex);
+
+      lock.lock();
+      --inFlight;
+      ++slot.slices;
+      if (threw) {
+        slot.finished = true;
+        slot.threw = true;
+        slot.last.result.stats.add("portfolio.engine_exceptions");
+      } else {
+        const int boundDelta = p.bound - slot.last.bound;
+        slot.last = std::move(p);
+        if (slot.last.done) {
+          slot.finished = true;
+          bool definitive =
+              slot.last.result.verdict != mc::Verdict::Unknown;
+          if (replayRejected) {
+            // The independent referee rejected the trace: never report it.
+            slot.last.result.verdict = mc::Verdict::Unknown;
+            slot.last.result.stats.add("portfolio.cex_replay_failures");
+            definitive = false;
+          }
+          if (definitive && winnerIdx < 0) {
+            winnerIdx = static_cast<int>(i);
+            token.cancel();  // tell mid-slice rivals to stop
+            stop = true;
+          }
+        } else {
+          // Adaptive slice length from the telemetry: no bound committed
+          // means the slice was too short to reach the engine's next
+          // pause point — promote; many bounds per slice means the
+          // engine can be interleaved at finer grain — demote.
+          if (!slot.last.advanced) {
+            slot.sliceSeconds = std::min(slot.sliceSeconds * 2.0,
+                                         opts_.sliceMaxSeconds);
+          } else if (boundDelta >= 8) {
+            slot.sliceSeconds = std::max(slot.sliceSeconds * 0.5,
+                                         opts_.sliceMinSeconds);
+          }
+          if (!stop && !outer.exhausted()) ready.push_back(i);
+        }
+      }
+      cv.notify_all();
+    }
+  };
+
+  const int nWorkers =
+      std::max(1, std::min<int>(opts_.sliceWorkers, static_cast<int>(n)));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nWorkers));
+  try {
+    for (int t = 0; t < nWorkers; ++t) threads.emplace_back(worker);
+  } catch (const std::system_error&) {
+    // Thread exhaustion mid-spawn: the workers already running finish the
+    // queue (slice mode never needs more than one).
+  }
+  if (threads.empty()) worker();  // degenerate fallback: run inline
+  for (std::thread& t : threads) t.join();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    EngineRun& run = out.runs[i];
+    const Slot& slot = slots[i];
+    run.engine = opts_.engines[i];
+    run.verdict = slot.last.result.verdict;
+    run.steps = slot.last.result.steps;
+    run.seconds = slot.last.result.seconds;
+    run.winner = static_cast<int>(i) == winnerIdx;
+    run.cancelled = !slot.finished && winnerIdx >= 0;
+    run.slices = slot.slices;
+    run.stats = slot.last.result.stats;
+  }
+
+  if (winnerIdx >= 0) {
+    out.best =
+        std::move(slots[static_cast<std::size_t>(winnerIdx)].last.result);
+    // Definitive losers that disagree with the winner are a soundness bug
+    // in some engine; surface it in the stats rather than hiding it.
+    for (const EngineRun& run : out.runs) {
+      if (!run.winner && run.verdict != mc::Verdict::Unknown &&
+          run.verdict != out.best.verdict)
+        out.best.stats.add("portfolio.verdict_conflicts");
+    }
+  } else {
+    out.best.engine = "portfolio";
+    out.best.verdict = mc::Verdict::Unknown;
+  }
+  out.wallSeconds = wall.seconds();
+  out.best.seconds = out.wallSeconds;
+  return out;
+}
+
+}  // namespace cbq::portfolio

@@ -160,6 +160,93 @@ TEST(Io, HandWrittenAag) {
   EXPECT_TRUE(mc::replayHitsBad(net, t));
 }
 
+TEST(Io, Aag19BadSectionSymbolsAndComments) {
+  // The toggle latch again, phrased AIGER-1.9 style: the property is a
+  // `b` (bad) literal instead of an output, followed by a symbol table
+  // and a comment section — all of which the reader must accept.
+  std::stringstream ss(
+      "aag 1 0 1 0 0 1\n"
+      "2 3 0\n"
+      "2\n"
+      "l0 toggle\n"
+      "b0 latch_high\n"
+      "c\n"
+      "hand-written 1.9 example\n");
+  const Network net = readAag(ss);
+  EXPECT_EQ(net.numLatches(), 1u);
+  mc::Trace t;
+  t.inputs.resize(1);
+  EXPECT_FALSE(mc::replayHitsBad(net, t));
+  t.inputs.resize(2);
+  EXPECT_TRUE(mc::replayHitsBad(net, t));
+}
+
+TEST(Io, Aag19OutputsAndBadsMerge) {
+  // One output (latch 0) and one bad literal (latch 1): the checker ORs
+  // both into `bad`, so either latch going high is a violation.
+  std::stringstream ss(
+      "aag 2 0 2 1 0 1\n"
+      "2 3\n"  // toggle
+      "4 4\n"  // constant latch, init 0
+      "4\n"    // output: second latch (never high -> not the bug)
+      "2\n"    // bad: toggle latch (high at step 2)
+      "c\n");
+  const Network net = readAag(ss);
+  mc::Trace t;
+  t.inputs.resize(2);
+  EXPECT_TRUE(mc::replayHitsBad(net, t));
+}
+
+TEST(Io, AagNoOutputsNoAndsStillParsesTrailingSections) {
+  // With no outputs/bads and no AND gates, the numeric part ends on a
+  // getline-consumed latch line; the symbol/comment scan must not
+  // swallow (or trip over) the first trailing line.
+  {
+    std::stringstream ss("aag 1 0 1 0 0\n2 3\nc\nfree text\n");
+    const Network net = readAag(ss);
+    EXPECT_EQ(net.numLatches(), 1u);
+    EXPECT_EQ(net.bad, aig::kFalse);  // no property
+  }
+  {
+    std::stringstream ss("aag 1 0 1 0 0\n2 3\nl0 toggle\n");
+    const Network net = readAag(ss);
+    EXPECT_EQ(net.numLatches(), 1u);
+  }
+  {
+    // The first trailing line is validated, not skipped.
+    std::stringstream ss("aag 1 0 1 0 0\n2 3\nl7 out_of_range\n");
+    EXPECT_THROW(readAag(ss), ParseError);
+  }
+}
+
+TEST(Io, Aag19UnsupportedSectionsAreParseErrors) {
+  {
+    // One invariant constraint: silently ignoring it would flip verdicts.
+    std::stringstream ss("aag 1 0 1 0 0 0 1\n2 3\n2\n");
+    EXPECT_THROW(readAag(ss), ParseError);
+  }
+  {
+    // Justice property.
+    std::stringstream ss("aag 1 0 1 0 0 0 0 1\n2 3\n2\n");
+    EXPECT_THROW(readAag(ss), ParseError);
+  }
+  {
+    // Uninitialized latch (reset value = its own literal).
+    std::stringstream ss("aag 1 0 1 1 0\n2 3 2\n2\n");
+    EXPECT_THROW(readAag(ss), ParseError);
+  }
+  {
+    // Malformed symbol table entry.
+    std::stringstream ss("aag 1 0 1 1 0\n2 3\n2\nx0 what\n");
+    EXPECT_THROW(readAag(ss), ParseError);
+  }
+  {
+    // Symbol index out of range.
+    std::stringstream ss("aag 1 0 1 1 0\n2 3\n2\nl7 nope\n");
+    EXPECT_THROW(readAag(ss), ParseError);
+  }
+}
+
 TEST(Io, HandWrittenBench) {
   std::stringstream ss(R"(# toy
 INPUT(a)
