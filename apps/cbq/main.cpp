@@ -11,9 +11,18 @@
 // threads, each problem checked by the portfolio, and writes JSON/CSV
 // summaries. `gen` / `gen-suite` emit the built-in benchmark families as
 // AIGER files so the tool is exercisable without external benchmark sets.
+// Every verification path runs behind the preprocessing pipeline
+// (src/prep) unless --prep=off; counterexamples are always lifted back to
+// and replay-checked on the original circuit.
 //
-// Exit codes: 0 definitive verdict (check) / error-free batch, 1 usage or
-// input error, 2 counterexample failed replay, 3 verdict Unknown.
+// `cbq check` exit-code contract (stable, scripting-safe):
+//   0  = property proven (SAFE)
+//   10 = counterexample found and replay-confirmed (UNSAFE)
+//   20 = no definitive verdict (UNKNOWN — budget/limits hit, or a
+//        counterexample failed the replay referee and was demoted)
+//   1  = usage or input error (bad flags, unreadable/unparsable circuit)
+// `batch` keeps 0 = error-free run, 1 = usage error or any problem file
+// failed to load; `bench` returns 0 on verdict agreement, 2 on mismatch.
 
 #include <algorithm>
 #include <cstdio>
@@ -50,10 +59,56 @@ struct Args {
   std::string engine;
   std::vector<std::string> engines;
   std::string schedule;  // race | slice (bench also: seq)
+  std::string prepSpec;  // on | off | comma list of passes
   std::string output;  // -o
   std::string jsonPath;
   std::string csvPath;
 };
+
+/// Parses --prep: "on"/"" (all passes, default), "off", or a comma list
+/// of pass names (coi,const,sweep,latchcorr) enabling only those.
+bool parsePrep(const std::string& spec, cbq::prep::PrepOptions& prep) {
+  if (spec.empty() || spec == "on") return true;
+  if (spec == "off") {
+    prep.enabled = false;
+    return true;
+  }
+  prep.coi = prep.constLatch = prep.structural = prep.latchCorr = false;
+  std::stringstream ss(spec);
+  std::string pass;
+  while (std::getline(ss, pass, ',')) {
+    if (pass == "coi") {
+      prep.coi = true;
+    } else if (pass == "const") {
+      prep.constLatch = true;
+    } else if (pass == "sweep") {
+      prep.structural = true;
+    } else if (pass == "latchcorr") {
+      prep.latchCorr = true;
+    } else if (!pass.empty()) {
+      std::fprintf(stderr,
+                   "cbq: unknown prep pass '%s' "
+                   "(on|off|coi,const,sweep,latchcorr)\n",
+                   pass.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void printPrepSummary(const cbq::portfolio::PrepSummary& p) {
+  if (!p.enabled) return;
+  std::printf("prep: latches %zu -> %zu, inputs %zu -> %zu, ands %zu -> %zu "
+              "(%.1fms%s)\n",
+              p.latchesBefore, p.latchesAfter, p.inputsBefore, p.inputsAfter,
+              p.andsBefore, p.andsAfter, p.seconds * 1e3,
+              p.decided ? ", verdict decided by preprocessing" : "");
+  for (const auto& ps : p.passes)
+    std::printf("  %-9s latches %zu -> %zu, inputs %zu -> %zu, "
+                "ands %zu -> %zu\n",
+                ps.pass.c_str(), ps.latchesBefore, ps.latchesAfter,
+                ps.inputsBefore, ps.inputsAfter, ps.andsBefore, ps.andsAfter);
+}
 
 /// Parses --schedule for check/batch; empty defaults to race.
 bool parseSchedule(const std::string& s,
@@ -118,6 +173,12 @@ bool parseArgs(int argc, char** argv, int first, Args& args) {
       const char* v = value("--schedule");
       if (!v) return false;
       args.schedule = v;
+    } else if (a == "--prep") {
+      const char* v = value("--prep");
+      if (!v) return false;
+      args.prepSpec = v;
+    } else if (a.rfind("--prep=", 0) == 0) {
+      args.prepSpec = a.substr(7);
     } else if (a == "--workers") {
       const char* v = value("--workers");
       if (!v) return false;
@@ -157,14 +218,19 @@ int usage() {
       "usage:\n"
       "  cbq check <file> [--engine NAME | --engines A,B,C] [--timeout S]\n"
       "            [--node-limit N] [--schedule race|slice] [--workers N]\n"
+      "            [--prep on|off|coi,const,sweep,latchcorr]\n"
       "      run the portfolio on one circuit (.aag/.aig/.bench);\n"
       "      --schedule race (default) races engines on threads,\n"
       "      --schedule slice round-robins persistent engine sessions on\n"
       "      --workers threads (default 1: single-core portfolio);\n"
-      "      a single --engine runs that engine alone\n"
+      "      a single --engine runs that engine alone. The preprocessing\n"
+      "      pipeline (--prep, default on) shrinks the problem before any\n"
+      "      engine starts; counterexamples are lifted back and replayed\n"
+      "      on the original circuit.\n"
+      "      exit codes: 0 SAFE, 10 UNSAFE, 20 UNKNOWN, 1 usage/IO error\n"
       "  cbq batch <dir-or-files...> [--jobs N] [--engines A,B,C]\n"
       "            [--timeout S] [--node-limit N] [--schedule race|slice]\n"
-      "            [--json F] [--csv F] [--quiet]\n"
+      "            [--prep ...] [--json F] [--csv F] [--quiet]\n"
       "      verify every circuit file with a worker pool; --timeout is\n"
       "      the per-problem budget\n"
       "  cbq gen <family> [--width N] [--unsafe] [-o file.aag]\n"
@@ -174,7 +240,7 @@ int usage() {
       "  cbq engines\n"
       "      list engine names (* = default portfolio)\n"
       "  cbq bench [--engine NAME] [--timeout S] [--smoke] [-o FILE]\n"
-      "            [--schedule seq|slice|race]\n"
+      "            [--schedule seq|slice|race] [--prep ...]\n"
       "      run the generated family suite and write BENCH_reach.json:\n"
       "      per-circuit wall time, sweeper SAT calls, pair-cache hit\n"
       "      rate, solver effort. --schedule seq (default) runs one\n"
@@ -229,6 +295,7 @@ int cmdCheck(const Args& args) {
   opts.timeLimitSeconds = args.timeout;
   opts.nodeLimit = args.nodeLimit;
   if (!parseSchedule(args.schedule, opts.schedule)) return 1;
+  if (!parsePrep(args.prepSpec, opts.prep)) return 1;
   opts.sliceWorkers = args.workers;
 
   cbq::portfolio::PortfolioResult res;
@@ -240,21 +307,35 @@ int cmdCheck(const Args& args) {
     return 1;
   }
 
+  printPrepSummary(res.prep);
   printEngineTable(res.runs);
   const auto* winner = res.winner();
   std::printf("verdict: %s (%s, %.3fs wall)\n",
               cbq::mc::toString(res.best.verdict),
-              winner ? winner->engine.c_str() : "no definitive engine",
+              winner            ? winner->engine.c_str()
+              : res.prep.decided ? "prep"
+                                 : "no definitive engine",
               res.wallSeconds);
 
   if (res.best.verdict == Verdict::Unsafe && res.best.cex.has_value()) {
+    // The runner already lifted the trace and refereed it on the
+    // original network; this replay is the user-visible confirmation.
     const bool ok = cbq::mc::replayHitsBad(net, *res.best.cex);
     std::printf("counterexample: %zu steps, replay %s\n",
                 res.best.cex->length(),
                 ok ? "confirms the bug" : "FAILED");
-    if (!ok) return 2;
+    if (!ok) return 20;  // never report an unconfirmed bug as UNSAFE
   }
-  return res.best.verdict == Verdict::Unknown ? 3 : 0;
+  // The documented contract: 0 SAFE, 10 UNSAFE, 20 UNKNOWN.
+  switch (res.best.verdict) {
+    case Verdict::Safe:
+      return 0;
+    case Verdict::Unsafe:
+      return 10;
+    case Verdict::Unknown:
+      break;
+  }
+  return 20;
 }
 
 int cmdBatch(const Args& args) {
@@ -283,6 +364,7 @@ int cmdBatch(const Args& args) {
   opts.portfolio.timeLimitSeconds = args.timeout;
   opts.portfolio.nodeLimit = args.nodeLimit;
   if (!parseSchedule(args.schedule, opts.portfolio.schedule)) return 1;
+  if (!parsePrep(args.prepSpec, opts.portfolio.prep)) return 1;
   opts.portfolio.sliceWorkers = args.workers;
 
   cbq::portfolio::BatchSummary summary;
@@ -422,6 +504,8 @@ int cmdBench(const Args& args) {
     std::fprintf(stderr, "cbq: unknown engine %s\n", engineName.c_str());
     return 1;
   }
+  cbq::prep::PrepOptions prepOpts;
+  if (!parsePrep(args.prepSpec, prepOpts)) return 1;
 
   auto instances = cbq::circuits::standardSuite();
   if (args.smoke) {
@@ -440,7 +524,8 @@ int cmdBench(const Args& args) {
                  {"gray", 7},     {"evencount", 6}, {"evencount", 7},
                  {"lfsr", 7},     {"lfsr", 8},      {"ring", 10},
                  {"arbiter", 6},  {"arbiter", 8},   {"queue", 4},
-                 {"queue", 5},    {"mult", 6},      {"mult", 8}};
+                 {"queue", 5},    {"mult", 6},      {"mult", 8},
+                 {"haystack", 6}, {"haystack", 8}};
     for (const auto& spec : kHard) {
       for (const bool safe : {true, false}) {
         instances.push_back(
@@ -470,9 +555,11 @@ int cmdBench(const Args& args) {
   for (const auto& inst : instances) {
     cbq::mc::CheckResult r;
     if (schedule == "seq") {
+      // The sequential engine entry path: preprocess, check the reduced
+      // problem, lift + referee any counterexample on the original.
       auto engine = cbq::mc::makeEngine(engineName);
       const cbq::portfolio::Budget budget(timeout);
-      r = engine->check(inst.net, budget);
+      r = cbq::prep::checkWithPrep(*engine, inst.net, prepOpts, budget);
     } else {
       // Portfolio variant: --schedule slice is the single-core
       // time-sliced portfolio, --schedule race the thread-per-engine one.
@@ -483,6 +570,7 @@ int cmdBench(const Args& args) {
                            ? cbq::portfolio::ScheduleMode::Slice
                            : cbq::portfolio::ScheduleMode::Race;
       popts.sliceWorkers = args.workers;
+      popts.prep = prepOpts;
       const cbq::portfolio::PortfolioRunner runner(popts);
       auto pr = runner.run(inst.net);
       r = std::move(pr.best);
@@ -545,6 +633,7 @@ int cmdBench(const Args& args) {
       << (schedule == "seq" ? engineName : "portfolio-" + schedule)
       << "\",\n";
   out << "  \"schedule\": \"" << schedule << "\",\n";
+  out << "  \"prep\": " << (prepOpts.enabled ? "true" : "false") << ",\n";
   out << "  \"timeout_seconds\": " << timeout << ",\n";
   out << "  \"circuits\": " << rows.size() << ",\n";
   out << "  \"solved\": " << solved << ",\n";

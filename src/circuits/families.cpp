@@ -341,6 +341,87 @@ Network makeMultiplier(int k, bool safe) {
   return b.finish();
 }
 
+Network makeHaystack(int n, bool safe) {
+  assert(n >= 2);
+  NetworkBuilder b(std::string("haystack") + (safe ? "-safe-" : "-buggy-") +
+                   std::to_string(n));
+  // Core counter + an identical duplicate register.
+  std::vector<Lit> core;
+  std::vector<Lit> copy;
+  for (int i = 0; i < n; ++i) core.push_back(b.addLatch(false));
+  for (int i = 0; i < n; ++i) copy.push_back(b.addLatch(false));
+  // Stuck-at latches: s0 holds 0 forever, s1 holds 1 forever.
+  const Lit s0 = b.addLatch(false);
+  const Lit s1 = b.addLatch(true);
+  // One-hot noise ring (2n stages) and a disconnected scrambler (n bits).
+  const int ringLen = 2 * n;
+  std::vector<Lit> ring;
+  for (int i = 0; i < ringLen; ++i) ring.push_back(b.addLatch(i == 0));
+  std::vector<Lit> scram;
+  for (int i = 0; i < n; ++i) scram.push_back(b.addLatch(false));
+  const Lit en = b.addInput();      // core enable
+  const Lit rotate = b.addInput();  // ring rotate enable
+  const Lit inject = b.addInput();  // scrambler feedback disturbance
+  aig::Aig& g = b.aig();
+
+  b.setNextOf(s0, s0);
+  b.setNextOf(s1, s1);
+
+  // Core and copy step under the SAME (pointlessly gated) enable; the
+  // safe variant wraps one short of all-ones exactly like makeCounter.
+  const std::uint64_t allOnes = (std::uint64_t{1} << n) - 1;
+  const Lit enEff = g.mkAnd(en, s1);
+  auto step = [&](std::span<const Lit> reg) {
+    auto inc = incremented(g, reg);
+    if (safe) {
+      const Lit atWrap = equalsConst(g, reg, allOnes - 1);
+      for (auto& bit : inc) bit = g.mkAnd(bit, !atWrap);
+    }
+    return muxVec(g, enEff, inc, reg);
+  };
+  const auto coreNext = step(core);
+  const auto copyNext = step(copy);
+  for (int i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    b.setNextOf(core[idx], coreNext[idx]);
+    b.setNextOf(copy[idx], copyNext[idx]);
+  }
+
+  // Noise ring: pure rotation (token count is invariant, so the guarded
+  // two-token term below stays 1-inductive).
+  for (int i = 0; i < ringLen; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const Lit prev = ring[static_cast<std::size_t>((i + ringLen - 1) %
+                                                   ringLen)];
+    b.setNextOf(ring[idx], g.mkMux(rotate, prev, ring[idx]));
+  }
+
+  // Disconnected scrambler: feedback shifter stirred by an input; no cone
+  // below bad ever reads it.
+  const Lit fb = g.mkXor(scram[static_cast<std::size_t>(n - 1)], inject);
+  for (int i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    b.setNextOf(scram[idx], i == 0 ? fb
+                                   : scram[static_cast<std::size_t>(i - 1)]);
+  }
+
+  // bad = core property violation
+  //     ∨ core/copy divergence (never happens: registers step in
+  //       lock-step — latch correspondence proves it)
+  //     ∨ two ring tokens behind the stuck-0 guard (never happens: the
+  //       guard is constant false — constant sweep collapses it).
+  const Lit coreBad = equalsConst(g, core, allOnes);
+  std::vector<Lit> diverge;
+  for (int i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    diverge.push_back(g.mkXor(core[idx], copy[idx]));
+  }
+  const Lit dupTerm = g.mkOrAll(diverge);
+  const Lit junkTerm = g.mkAnd(s0, twoOrMore(g, ring));
+  b.setBad(g.mkOr(coreBad, g.mkOr(dupTerm, junkTerm)));
+  return b.finish();
+}
+
 Network makePeterson(bool safe) {
   NetworkBuilder b(std::string("peterson") + (safe ? "-safe" : "-buggy"));
   // Program counters: 00 idle, 01 trying, 10 critical.

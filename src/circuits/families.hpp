@@ -72,6 +72,26 @@ mc::Network makeQueue(int n, bool safe);
 /// k-1 rotations.
 mc::Network makeMultiplier(int k, bool safe);
 
+/// Needle-in-a-haystack — the preprocessing showcase. An n-bit counter
+/// core (same dynamics and property as makeCounter) is buried under
+/// realistic industrial clutter, every piece answering to one prep pass:
+///  * a full duplicate of the core register (same update logic), compared
+///    into bad through a relational XOR — latch correspondence merges it;
+///  * two stuck-at latches (next = self): one gates irrelevant logic into
+///    bad, one gates the core's enable — constant-latch sweep removes
+///    both and the gating collapses;
+///  * a one-hot rotating "noise" ring OR-ed into bad behind the stuck-0
+///    guard — once the guard is swept, cone-of-influence reduction drops
+///    the whole ring and its rotate input;
+///  * a disconnected scrambler register (input-driven feedback shifter
+///    feeding nothing) — pure COI fodder.
+/// Without preprocessing every engine carries 5n+2 latches and 3 inputs;
+/// the pipeline reduces the problem to the n-latch, 1-input counter core.
+/// The stuck-at guards hold in every reachable state AND the clutter
+/// invariants are 1-inductive, so the safe variant stays provable by
+/// k-induction even without preprocessing.
+mc::Network makeHaystack(int n, bool safe);
+
 /// Peterson's mutual-exclusion protocol for two processes (program
 /// counters, flags, turn; scheduler + request inputs). bad = both in the
 /// critical section. The unsafe variant lowers a process's flag while it

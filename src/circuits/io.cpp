@@ -16,88 +16,136 @@ using aig::Lit;
 using aig::VarId;
 using mc::Network;
 
+/// Line-counting reader: every parse error reports the offending line
+/// number, so a malformed 10k-line benchmark file is a one-look fix
+/// instead of a binary search.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& in) : in_(in) {}
+
+  /// Reads the next line; false at EOF.
+  bool next(std::string& line) {
+    if (!std::getline(in_, line)) return false;
+    ++lineNo_;
+    return true;
+  }
+
+  /// Reads the next line or fails with `what` at the line AFTER the last
+  /// one read (the place the missing line was expected).
+  std::string expect(const char* what) {
+    std::string line;
+    if (!next(line))
+      throw ParseError("line " + std::to_string(lineNo_ + 1) +
+                       ": unexpected end of file, expected " + what);
+    return line;
+  }
+
+  [[nodiscard]] std::size_t lineNo() const { return lineNo_; }
+
+  [[noreturn]] void fail(const std::string& msg) const { failAt(lineNo_, msg); }
+
+  [[noreturn]] static void failAt(std::size_t lineNo, const std::string& msg) {
+    throw ParseError("line " + std::to_string(lineNo) + ": " + msg);
+  }
+
+ private:
+  std::istream& in_;
+  std::size_t lineNo_ = 0;
+};
+
 // ----- AIGER ASCII ----------------------------------------------------------
 
 struct AagAnd {
   unsigned lhs, rhs0, rhs1;
+  std::size_t lineNo;  ///< where the gate was defined, for error reports
 };
 
 }  // namespace
 
 mc::Network readAag(std::istream& in, std::string name) {
-  std::string magic;
+  LineReader reader(in);
+
+  // AIGER 1.9 header: `aag M I L O A [B [C [J [F]]]]`. Bad literals are
+  // property outputs like O (both are OR-ed into `bad`); invariant
+  // constraints and justice/fairness are liveness-flavoured machinery the
+  // invariant checker cannot honour soundly, so their presence is a parse
+  // error rather than a silently wrong verdict.
   unsigned m = 0;
   unsigned i = 0;
   unsigned l = 0;
   unsigned o = 0;
   unsigned a = 0;
-  in >> magic >> m >> i >> l >> o >> a;
-  if (magic != "aag") throw ParseError("not an ascii AIGER file");
-
-  // AIGER 1.9 header extensions: `aag M I L O A [B [C [J [F]]]]`. Bad
-  // literals are property outputs like O (both are OR-ed into `bad`);
-  // invariant constraints and justice/fairness are liveness-flavoured
-  // machinery the invariant checker cannot honour soundly, so their
-  // presence is a parse error rather than a silently wrong verdict.
   unsigned b = 0;
   unsigned c = 0;
   unsigned j = 0;
   unsigned f = 0;
   {
-    std::string rest;
-    std::getline(in, rest);
-    std::istringstream hs(rest);
-    hs >> b >> c >> j >> f;  // absent fields stay 0
+    std::istringstream hs(reader.expect("AIGER header"));
+    std::string magic;
+    if (!(hs >> magic >> m >> i >> l >> o >> a) || magic != "aag")
+      reader.fail("not an ascii AIGER header (aag M I L O A)");
+    hs >> b >> c >> j >> f;  // absent 1.9 fields stay 0
+    if (c > 0) reader.fail("invariant constraints unsupported");
+    if (j > 0 || f > 0) reader.fail("justice/fairness properties unsupported");
   }
-  if (c > 0) throw ParseError("invariant constraints unsupported");
-  if (j > 0 || f > 0)
-    throw ParseError("justice/fairness properties unsupported");
 
   Network net;
   net.name = std::move(name);
 
   std::vector<unsigned> inputLits(i);
-  for (auto& x : inputLits) in >> x;
+  for (auto& x : inputLits) {
+    std::istringstream ls(reader.expect("an input literal"));
+    if (!(ls >> x)) reader.fail("bad input line");
+  }
 
   struct LatchDef {
     unsigned lit, next;
     bool init;
+    std::size_t lineNo;
   };
   std::vector<LatchDef> latches(l);
+  for (auto& ld : latches) {
+    std::istringstream ls(reader.expect("a latch definition"));
+    ld.init = false;
+    ld.lineNo = reader.lineNo();
+    unsigned init = 0;
+    if (!(ls >> ld.lit >> ld.next)) reader.fail("bad latch line");
+    if (ls >> init) {
+      // 1.9 reset values: 0, 1, or the latch's own literal meaning
+      // "uninitialized" — a 3-valued start state we cannot model.
+      if (init == ld.lit)
+        reader.fail("uninitialized latch resets unsupported");
+      if (init > 1) reader.fail("bad latch reset value");
+      ld.init = (init != 0);
+    }
+  }
+
+  // Outputs, then the 1.9 bad-literal section; both name states the
+  // checker must prove unreachable, so they merge into one `bad`.
+  struct OutputDef {
+    unsigned lit;
+    std::size_t lineNo;
+  };
+  std::vector<OutputDef> outputs(o + b);
+  for (auto& od : outputs) {
+    std::istringstream ls(reader.expect("an output literal"));
+    od.lineNo = reader.lineNo();
+    if (!(ls >> od.lit)) reader.fail("bad output line");
+  }
+  std::vector<AagAnd> ands(a);
+  for (auto& g : ands) {
+    std::istringstream ls(reader.expect("an AND definition"));
+    g.lineNo = reader.lineNo();
+    if (!(ls >> g.lhs >> g.rhs0 >> g.rhs1)) reader.fail("bad AND line");
+  }
+
+  // Symbol table (`i<k> name` / `l<k> name` / `o<k> name` / `b<k> name`
+  // lines) and the free-text comment section after a lone `c`. Symbols
+  // map positions, not literals, so they carry no structure the Network
+  // does not already have — they are validated and skipped.
   {
     std::string line;
-    if (i > 0) std::getline(in, line);  // finish the last input line
-    for (auto& ld : latches) {
-      std::getline(in, line);
-      std::istringstream ls(line);
-      ld.init = false;
-      unsigned init = 0;
-      if (!(ls >> ld.lit >> ld.next)) throw ParseError("bad latch line");
-      if (ls >> init) {
-        // 1.9 reset values: 0, 1, or the latch's own literal meaning
-        // "uninitialized" — a 3-valued start state we cannot model.
-        if (init == ld.lit)
-          throw ParseError("uninitialized latch resets unsupported");
-        if (init > 1) throw ParseError("bad latch reset value");
-        ld.init = (init != 0);
-      }
-    }
-    // Outputs, then the 1.9 bad-literal section; both name states the
-    // checker must prove unreachable, so they merge into one `bad`.
-    std::vector<unsigned> outputs(o + b);
-    for (auto& x : outputs) in >> x;
-    std::vector<AagAnd> ands(a);
-    for (auto& g : ands) in >> g.lhs >> g.rhs0 >> g.rhs1;
-    if (!in) throw ParseError("truncated AIGER file");
-
-    // Symbol table (`i<k> name` / `l<k> name` / `o<k> name` / `b<k>
-    // name` lines) and the free-text comment section after a lone `c`.
-    // Symbols map positions, not literals, so they carry no structure the
-    // Network does not already have — they are validated and skipped.
-    // The outputs/bads/ands were read with `>>` (cursor mid-line); with
-    // none present the latch/header getlines already sit at a line start.
-    if (o + b + a > 0) std::getline(in, line);  // finish the numeric line
-    while (std::getline(in, line)) {
+    while (reader.next(line)) {
       if (line.empty()) continue;
       if (line[0] == 'c') break;  // comment section: rest is free text
       const char kind = line[0];
@@ -106,74 +154,84 @@ mc::Network readAag(std::istream& in, std::string name) {
       std::istringstream ss(line.substr(1));
       if ((kind != 'i' && kind != 'l' && kind != 'o' && kind != 'b') ||
           !(ss >> idx >> sym))
-        throw ParseError("bad symbol table line: " + line);
+        reader.fail("bad symbol table line: " + line);
       const unsigned count = kind == 'i' ? i
                              : kind == 'l' ? l
                              : kind == 'o' ? o
                                            : b;
-      if (idx >= count)
-        throw ParseError("symbol index out of range: " + line);
+      if (idx >= count) reader.fail("symbol index out of range: " + line);
     }
-
-    // Variable kind table.
-    enum class Kind : std::uint8_t { Undefined, Input, Latch, And };
-    std::vector<Kind> kind(m + 1, Kind::Undefined);
-    std::vector<Lit> value(m + 1, aig::kFalse);
-    std::vector<bool> ready(m + 1, false);
-    ready[0] = true;  // constant
-
-    for (const unsigned x : inputLits) {
-      if ((x & 1) || x / 2 > m) throw ParseError("bad input literal");
-      kind[x / 2] = Kind::Input;
-      net.inputVars.push_back(x / 2);
-      value[x / 2] = net.aig.pi(x / 2);
-      ready[x / 2] = true;
-    }
-    for (const auto& ld : latches) {
-      if ((ld.lit & 1) || ld.lit / 2 > m) throw ParseError("bad latch literal");
-      kind[ld.lit / 2] = Kind::Latch;
-      net.stateVars.push_back(ld.lit / 2);
-      net.init.push_back(ld.init);
-      value[ld.lit / 2] = net.aig.pi(ld.lit / 2);
-      ready[ld.lit / 2] = true;
-    }
-    for (const auto& g : ands) {
-      if ((g.lhs & 1) || g.lhs / 2 > m || kind[g.lhs / 2] != Kind::Undefined)
-        throw ParseError("bad AND definition");
-      kind[g.lhs / 2] = Kind::And;
-    }
-
-    auto litOf = [&](unsigned x) -> Lit {
-      return value[x / 2] ^ ((x & 1) != 0);
-    };
-
-    // Worklist resolution (files need not be topologically sorted).
-    std::vector<AagAnd> pending(ands.begin(), ands.end());
-    while (!pending.empty()) {
-      const std::size_t before = pending.size();
-      std::erase_if(pending, [&](const AagAnd& g) {
-        if (!ready[g.rhs0 / 2] || !ready[g.rhs1 / 2]) return false;
-        value[g.lhs / 2] = net.aig.mkAnd(litOf(g.rhs0), litOf(g.rhs1));
-        ready[g.lhs / 2] = true;
-        return true;
-      });
-      if (pending.size() == before)
-        throw ParseError("cyclic or undefined AND gates");
-    }
-
-    net.next.reserve(latches.size());
-    for (const auto& ld : latches) {
-      if (!ready[ld.next / 2]) throw ParseError("undefined latch next-state");
-      net.next.push_back(litOf(ld.next));
-    }
-    std::vector<Lit> bads;
-    bads.reserve(outputs.size());
-    for (const unsigned x : outputs) {
-      if (!ready[x / 2]) throw ParseError("undefined output");
-      bads.push_back(litOf(x));
-    }
-    net.bad = net.aig.mkOrAll(bads);
   }
+
+  // Variable kind table.
+  enum class Kind : std::uint8_t { Undefined, Input, Latch, And };
+  std::vector<Kind> kind(m + 1, Kind::Undefined);
+  std::vector<Lit> value(m + 1, aig::kFalse);
+  std::vector<bool> ready(m + 1, false);
+  ready[0] = true;  // constant
+
+  for (std::size_t k = 0; k < inputLits.size(); ++k) {
+    const unsigned x = inputLits[k];
+    // Literals 0/1 are the constants: a definition claiming them would
+    // overwrite value[0] and corrupt every constant in the file.
+    if ((x & 1) || x < 2 || x / 2 > m)
+      LineReader::failAt(2 + k, "bad input literal");
+    kind[x / 2] = Kind::Input;
+    net.inputVars.push_back(x / 2);
+    value[x / 2] = net.aig.pi(x / 2);
+    ready[x / 2] = true;
+  }
+  for (const auto& ld : latches) {
+    if ((ld.lit & 1) || ld.lit < 2 || ld.lit / 2 > m)
+      LineReader::failAt(ld.lineNo, "bad latch literal");
+    kind[ld.lit / 2] = Kind::Latch;
+    net.stateVars.push_back(ld.lit / 2);
+    net.init.push_back(ld.init);
+    value[ld.lit / 2] = net.aig.pi(ld.lit / 2);
+    ready[ld.lit / 2] = true;
+  }
+  for (const auto& g : ands) {
+    if ((g.lhs & 1) || g.lhs < 2 || g.lhs / 2 > m ||
+        kind[g.lhs / 2] != Kind::Undefined)
+      LineReader::failAt(g.lineNo, "bad AND definition");
+    kind[g.lhs / 2] = Kind::And;
+  }
+
+  auto litOf = [&](unsigned x) -> Lit {
+    return value[x / 2] ^ ((x & 1) != 0);
+  };
+
+  // Worklist resolution (files need not be topologically sorted).
+  std::vector<AagAnd> pending(ands.begin(), ands.end());
+  while (!pending.empty()) {
+    const std::size_t before = pending.size();
+    std::erase_if(pending, [&](const AagAnd& g) {
+      if (g.rhs0 / 2 > m || g.rhs1 / 2 > m)
+        LineReader::failAt(g.lineNo, "AND fanin literal out of range");
+      if (!ready[g.rhs0 / 2] || !ready[g.rhs1 / 2]) return false;
+      value[g.lhs / 2] = net.aig.mkAnd(litOf(g.rhs0), litOf(g.rhs1));
+      ready[g.lhs / 2] = true;
+      return true;
+    });
+    if (pending.size() == before)
+      LineReader::failAt(pending.front().lineNo,
+                         "cyclic or undefined AND gates");
+  }
+
+  net.next.reserve(latches.size());
+  for (const auto& ld : latches) {
+    if (ld.next / 2 > m || !ready[ld.next / 2])
+      LineReader::failAt(ld.lineNo, "undefined latch next-state");
+    net.next.push_back(litOf(ld.next));
+  }
+  std::vector<Lit> bads;
+  bads.reserve(outputs.size());
+  for (const auto& od : outputs) {
+    if (od.lit / 2 > m || !ready[od.lit / 2])
+      LineReader::failAt(od.lineNo, "undefined output");
+    bads.push_back(litOf(od.lit));
+  }
+  net.bad = net.aig.mkOrAll(bads);
   if (!net.wellFormed()) throw ParseError("malformed AIGER network");
   return net;
 }
@@ -259,15 +317,24 @@ void writeDelta(std::ostream& out, unsigned x) {
 }  // namespace
 
 mc::Network readAigBinary(std::istream& in, std::string name) {
-  std::string magic;
+  // The header/latch/output section is line-oriented text (the shared
+  // LineReader puts line numbers on error reports); the AND section is
+  // raw bytes (byte-level diagnostics instead). getline stops exactly
+  // after each '\n', so the reader hands the stream over to the binary
+  // section in the right position.
+  LineReader reader(in);
   unsigned m = 0;
   unsigned i = 0;
   unsigned l = 0;
   unsigned o = 0;
   unsigned a = 0;
-  in >> magic >> m >> i >> l >> o >> a;
-  if (magic != "aig") throw ParseError("not a binary AIGER file");
-  if (m != i + l + a) throw ParseError("inconsistent binary AIGER header");
+  {
+    std::istringstream hs(reader.expect("binary AIGER header"));
+    std::string magic;
+    if (!(hs >> magic >> m >> i >> l >> o >> a) || magic != "aig")
+      reader.fail("not a binary AIGER header (aig M I L O A)");
+    if (m != i + l + a) reader.fail("inconsistent binary AIGER header");
+  }
 
   Network net;
   net.name = std::move(name);
@@ -279,18 +346,15 @@ mc::Network readAigBinary(std::istream& in, std::string name) {
     value[k] = net.aig.pi(k);
   }
   // Latches are implicit variables I+1..I+L; their lines carry next [init].
-  std::string line;
-  std::getline(in, line);  // rest of header
   struct LatchDef {
     unsigned next;
     bool init;
   };
   std::vector<LatchDef> latches(l);
   for (unsigned k = 0; k < l; ++k) {
-    std::getline(in, line);
-    std::istringstream ls(line);
+    std::istringstream ls(reader.expect("a binary latch line"));
     unsigned init = 0;
-    if (!(ls >> latches[k].next)) throw ParseError("bad binary latch line");
+    if (!(ls >> latches[k].next)) reader.fail("bad binary latch line");
     latches[k].init = (ls >> init) && init != 0;
     const unsigned var = i + 1 + k;
     net.stateVars.push_back(var);
@@ -299,9 +363,8 @@ mc::Network readAigBinary(std::istream& in, std::string name) {
   }
   std::vector<unsigned> outputs(o);
   for (auto& x : outputs) {
-    std::getline(in, line);
-    std::istringstream ls(line);
-    if (!(ls >> x)) throw ParseError("bad binary output line");
+    std::istringstream ls(reader.expect("a binary output line"));
+    if (!(ls >> x)) reader.fail("bad binary output line");
   }
 
   auto litOf = [&](unsigned x) -> Lit {
@@ -383,16 +446,26 @@ mc::Network readBench(std::istream& in, std::string name) {
     std::string out;
     std::string op;
     std::vector<std::string> args;
+    std::size_t lineNo = 0;
+  };
+  struct NamedRef {
+    std::string name;
+    std::size_t lineNo;
+  };
+  struct DffDef {
+    std::string q, d;
+    std::size_t lineNo;
   };
   std::vector<GateDef> gates;
-  std::vector<std::string> outputs;
-  std::vector<std::pair<std::string, std::string>> dffs;  // (q, d)
+  std::vector<NamedRef> outputs;
+  std::vector<DffDef> dffs;
   std::unordered_map<std::string, Lit> signal;
   std::unordered_map<std::string, bool> initOne;
   VarId nextVar = 0;
 
+  LineReader reader(in);
   std::string line;
-  while (std::getline(in, line)) {
+  while (reader.next(line)) {
     // Comments — including our `# init <name> = 1` extension.
     if (const auto hash = line.find('#'); hash != std::string::npos) {
       std::istringstream cs(line.substr(hash + 1));
@@ -427,9 +500,9 @@ mc::Network readBench(std::istream& in, std::string name) {
       net.inputVars.push_back(v);
       signal.emplace(tok[1], net.aig.pi(v));
     } else if (upper(tok[0]) == "OUTPUT" && tok.size() == 2) {
-      outputs.push_back(tok[1]);
+      outputs.push_back({tok[1], reader.lineNo()});
     } else if (tok.size() >= 3 && upper(tok[1]) == "DFF") {
-      dffs.emplace_back(tok[0], tok[2]);
+      dffs.push_back({tok[0], tok[2], reader.lineNo()});
       const VarId v = nextVar++;
       net.stateVars.push_back(v);
       signal.emplace(tok[0], net.aig.pi(v));
@@ -438,9 +511,10 @@ mc::Network readBench(std::istream& in, std::string name) {
       g.out = tok[0];
       g.op = upper(tok[1]);
       g.args.assign(tok.begin() + 2, tok.end());
+      g.lineNo = reader.lineNo();
       gates.push_back(std::move(g));
     } else {
-      throw ParseError("unparsable .bench line: " + line);
+      reader.fail("unparsable .bench line: " + line);
     }
   }
 
@@ -466,7 +540,7 @@ mc::Network readBench(std::istream& in, std::string name) {
     }
     if (g.op == "NOT") return !args.at(0);
     if (g.op == "BUF" || g.op == "BUFF") return args.at(0);
-    throw ParseError("unknown .bench gate type: " + g.op);
+    LineReader::failAt(g.lineNo, "unknown .bench gate type: " + g.op);
   };
 
   std::vector<GateDef> pending = gates;
@@ -479,20 +553,22 @@ mc::Network readBench(std::istream& in, std::string name) {
       return true;
     });
     if (pending.size() == before)
-      throw ParseError("cyclic or undefined .bench gates");
+      LineReader::failAt(pending.front().lineNo,
+                         "cyclic or undefined .bench gates");
   }
 
-  for (const auto& [q, d] : dffs) {
-    if (!signal.contains(d)) throw ParseError("undefined DFF input: " + d);
-    net.next.push_back(signal.at(d));
-    const auto initIt = initOne.find(q);
+  for (const auto& dff : dffs) {
+    if (!signal.contains(dff.d))
+      LineReader::failAt(dff.lineNo, "undefined DFF input: " + dff.d);
+    net.next.push_back(signal.at(dff.d));
+    const auto initIt = initOne.find(dff.q);
     net.init.push_back(initIt != initOne.end() && initIt->second);
   }
   std::vector<Lit> bads;
-  for (const auto& oName : outputs) {
-    if (!signal.contains(oName))
-      throw ParseError("undefined output: " + oName);
-    bads.push_back(signal.at(oName));
+  for (const auto& out : outputs) {
+    if (!signal.contains(out.name))
+      LineReader::failAt(out.lineNo, "undefined output: " + out.name);
+    bads.push_back(signal.at(out.name));
   }
   net.bad = net.aig.mkOrAll(bads);
   if (!net.wellFormed()) throw ParseError("malformed .bench network");
@@ -589,9 +665,15 @@ mc::Network readCircuitFile(const std::string& path) {
   const auto slash = path.find_last_of('/');
   const std::string base =
       slash == std::string::npos ? path : path.substr(slash + 1);
-  if (ext == ".aag") return readAag(in, base);
-  if (ext == ".aig") return readAigBinary(in, base);
-  if (ext == ".bench") return readBench(in, base);
+  // Prefix parse failures with the file path, so a batch over hundreds
+  // of files reports `dir/foo.aag: line 12: bad latch line`.
+  try {
+    if (ext == ".aag") return readAag(in, base);
+    if (ext == ".aig") return readAigBinary(in, base);
+    if (ext == ".bench") return readBench(in, base);
+  } catch (const ParseError& e) {
+    throw ParseError(path + ": " + e.what());
+  }
   throw ParseError("unsupported circuit file extension: " + path);
 }
 

@@ -6,7 +6,7 @@ namespace cbq::circuits {
 
 std::vector<std::string> familyNames() {
   return {"counter", "evencount", "gray", "ring", "arbiter",
-          "traffic", "lfsr", "queue", "mult", "peterson"};
+          "traffic", "lfsr", "queue", "mult", "peterson", "haystack"};
 }
 
 Instance makeInstance(const std::string& family, int width, bool safe) {
@@ -36,6 +36,8 @@ Instance makeInstance(const std::string& family, int width, bool safe) {
   } else if (family == "peterson") {
     inst.net = makePeterson(safe);
     inst.width = 0;
+  } else if (family == "haystack") {
+    inst.net = makeHaystack(width, safe);
   } else {
     throw std::invalid_argument("unknown benchmark family: " + family);
   }
@@ -61,6 +63,7 @@ std::vector<Instance> standardSuite() {
     suite.push_back(makeInstance("queue", 3, safe));
     suite.push_back(makeInstance("mult", 4, safe));
     suite.push_back(makeInstance("peterson", 0, safe));
+    suite.push_back(makeInstance("haystack", 3, safe));
   }
   return suite;
 }

@@ -16,6 +16,13 @@
 //
 // plus the §4 preprocessing utility that eliminates primary inputs from
 // the bad cone before handing the problem to BMC / induction.
+//
+// Engines check exactly the Network they are given. The production entry
+// paths (PortfolioRunner, prep::checkWithPrep — i.e. cbq check/batch/
+// bench) hand them the REDUCED network produced by the prep pass
+// pipeline (prep/pipeline.hpp) and lift any counterexample back to the
+// original circuit; an engine run directly is simply a run with
+// preprocessing disabled.
 
 #include <memory>
 #include <optional>

@@ -86,6 +86,25 @@ void writeJson(const BatchSummary& summary, std::ostream& out) {
     out << "\"inputs\": " << p.inputs << ", ";
     out << "\"ands\": " << p.ands << ", ";
     out << "\"error\": \"" << jsonEscape(p.error) << "\", ";
+    out << "\"prep\": {\"enabled\": " << (p.prep.enabled ? "true" : "false")
+        << ", \"decided\": " << (p.prep.decided ? "true" : "false")
+        << ", \"seconds\": " << jsonNumber(p.prep.seconds)
+        << ", \"latches_before\": " << p.prep.latchesBefore
+        << ", \"latches_after\": " << p.prep.latchesAfter
+        << ", \"inputs_before\": " << p.prep.inputsBefore
+        << ", \"inputs_after\": " << p.prep.inputsAfter
+        << ", \"ands_before\": " << p.prep.andsBefore
+        << ", \"ands_after\": " << p.prep.andsAfter << ", \"passes\": [";
+    for (std::size_t k = 0; k < p.prep.passes.size(); ++k) {
+      const prep::PassStats& ps = p.prep.passes[k];
+      out << (k == 0 ? "" : ", ");
+      out << "{\"pass\": \"" << jsonEscape(ps.pass) << "\", "
+          << "\"latches\": [" << ps.latchesBefore << ", " << ps.latchesAfter
+          << "], \"inputs\": [" << ps.inputsBefore << ", " << ps.inputsAfter
+          << "], \"ands\": [" << ps.andsBefore << ", " << ps.andsAfter
+          << "], \"seconds\": " << jsonNumber(ps.seconds) << "}";
+    }
+    out << "]}, ";
     out << "\"engines\": [";
     for (std::size_t j = 0; j < p.runs.size(); ++j) {
       const EngineRun& r = p.runs[j];
@@ -119,6 +138,7 @@ void writeJson(const BatchSummary& summary, std::ostream& out) {
 
 void writeCsv(const BatchSummary& summary, std::ostream& out) {
   out << "name,path,verdict,winner,steps,seconds,latches,inputs,ands,"
+         "prep_seconds,prep_latches,prep_inputs,prep_ands,"
          "propagations,decisions,conflicts,error\n";
   for (const BatchProblemResult& p : summary.problems) {
     // Effort columns aggregate over every engine that ran on the problem.
@@ -131,8 +151,11 @@ void writeCsv(const BatchSummary& summary, std::ostream& out) {
     out << csvField(p.name) << ',' << csvField(p.path) << ','
         << mc::toString(p.verdict) << ',' << csvField(p.winnerEngine) << ','
         << p.steps << ',' << jsonNumber(p.seconds) << ',' << p.latches << ','
-        << p.inputs << ',' << p.ands << ',' << props << ',' << decs << ','
-        << confs << ',' << csvField(p.error) << '\n';
+        << p.inputs << ',' << p.ands << ','
+        << jsonNumber(p.prep.seconds) << ',' << p.prep.latchesAfter << ','
+        << p.prep.inputsAfter << ',' << p.prep.andsAfter << ','
+        << props << ',' << decs << ',' << confs << ','
+        << csvField(p.error) << '\n';
   }
 }
 

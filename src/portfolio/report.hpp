@@ -13,8 +13,10 @@ namespace cbq::portfolio {
 void writeJson(const BatchSummary& summary, std::ostream& out);
 
 /// One header row + one row per problem (effort columns aggregate the
-/// solver counters of every engine that ran):
+/// solver counters of every engine that ran; prep_* columns report the
+/// post-preprocessing shape):
 /// name,path,verdict,winner,steps,seconds,latches,inputs,ands,
+/// prep_seconds,prep_latches,prep_inputs,prep_ands,
 /// propagations,decisions,conflicts,error
 void writeCsv(const BatchSummary& summary, std::ostream& out);
 

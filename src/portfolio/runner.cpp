@@ -24,14 +24,76 @@ PortfolioRunner::PortfolioRunner(PortfolioOptions opts)
 }
 
 PortfolioResult PortfolioRunner::run(const mc::Network& net) const {
-  if (opts_.schedule == ScheduleMode::Slice)
-    return TimeSliceScheduler(opts_).run(net);
-  return runRace(net);
+  util::Timer wall;
+
+  // Preprocessing: once per problem, before any engine starts, bounded
+  // by the same whole-problem time limit the engines get (the remainder
+  // is what the schedulers may spend). The schedulers then clone the
+  // (possibly reduced) problem per worker.
+  prep::PreparedProblem prepared = prep::Pipeline(opts_.prep).run(
+      net, Budget(opts_.timeLimitSeconds));
+  const mc::Network& problem = prepared.problem(net);
+
+  PrepSummary summary;
+  summary.enabled = opts_.prep.enabled;
+  summary.decided = prepared.decided.has_value();
+  summary.seconds = prepared.seconds;
+  summary.latchesBefore = prepared.latchesBefore;
+  summary.inputsBefore = prepared.inputsBefore;
+  summary.andsBefore = prepared.andsBefore;
+  summary.latchesAfter = problem.numLatches();
+  summary.inputsAfter = problem.numInputs();
+  summary.andsAfter = problem.aig.numAnds();
+  summary.passes = prepared.passes;
+
+  if (prepared.decided.has_value()) {
+    // The pipeline settled the verdict; no engine runs. The decided
+    // trace is already in original-network variables — referee it there.
+    PortfolioResult out;
+    out.prep = std::move(summary);
+    out.best.engine = "prep";
+    out.best.verdict = *prepared.decided;
+    out.best.cex = std::move(prepared.decidedCex);
+    out.best.stats = std::move(prepared.stats);
+    // A decided Unsafe must come with a replayable trace.
+    if (opts_.verifyCex)
+      prep::demoteUnreplayableCex(net, out.best, /*requireTrace=*/true);
+    out.wallSeconds = wall.seconds();
+    out.best.seconds = out.wallSeconds;
+    return out;
+  }
+
+  // The schedulers get the time that preprocessing left over, so the
+  // whole-problem budget covers prep + engines, not each separately.
+  PortfolioOptions inner = opts_;
+  if (inner.timeLimitSeconds > 0.0)
+    inner.timeLimitSeconds =
+        std::max(1e-3, inner.timeLimitSeconds - wall.seconds());
+  PortfolioResult out = inner.schedule == ScheduleMode::Slice
+                            ? TimeSliceScheduler(inner).run(problem)
+                            : runRace(problem, inner);
+  out.prep = std::move(summary);
+  out.best.stats.merge(prepared.stats);
+
+  // Lift an Unsafe winner's trace back to the original network and run
+  // the independent referee THERE (the schedulers already refereed it on
+  // the reduced model). This happens single-threaded, after every worker
+  // joined — concurrent replays on the shared original would race on the
+  // manager's scratch arenas.
+  if (out.best.verdict == mc::Verdict::Unsafe && out.best.cex.has_value()) {
+    out.best.cex = prepared.lifter().lift(std::move(*out.best.cex));
+    if (opts_.verifyCex) prep::demoteUnreplayableCex(net, out.best);
+  }
+
+  out.wallSeconds = wall.seconds();
+  out.best.seconds = out.wallSeconds;
+  return out;
 }
 
-PortfolioResult PortfolioRunner::runRace(const mc::Network& net) const {
+PortfolioResult PortfolioRunner::runRace(const mc::Network& net,
+                                         const PortfolioOptions& opts) const {
   util::Timer wall;
-  const std::size_t n = opts_.engines.size();
+  const std::size_t n = opts.engines.size();
 
   PortfolioResult out;
   out.runs.resize(n);
@@ -43,7 +105,7 @@ PortfolioResult PortfolioRunner::runRace(const mc::Network& net) const {
   for (std::size_t i = 0; i < n; ++i) clones.push_back(mc::cloneNetwork(net));
 
   CancelToken token;
-  const Budget budget(opts_.timeLimitSeconds, opts_.nodeLimit, &token);
+  const Budget budget(opts.timeLimitSeconds, opts.nodeLimit, &token);
 
   std::mutex mu;
   int winnerIdx = -1;
@@ -51,19 +113,19 @@ PortfolioResult PortfolioRunner::runRace(const mc::Network& net) const {
   std::vector<char> wasCancelled(n, 0);
 
   auto worker = [&](std::size_t i) {
-    auto engine = mc::makeEngine(opts_.engines[i]);
+    auto engine = mc::makeEngine(opts.engines[i]);
     mc::CheckResult res;
     try {
       res = engine->check(clones[i], budget);
     } catch (const std::exception&) {
       // An engine blowing up (e.g. BDD allocation) must not kill the race.
-      res.engine = opts_.engines[i];
+      res.engine = opts.engines[i];
       res.verdict = mc::Verdict::Unknown;
       res.stats.add("portfolio.engine_exceptions");
     }
 
     bool definitive = res.verdict != mc::Verdict::Unknown;
-    if (definitive && opts_.verifyCex &&
+    if (definitive && opts.verifyCex &&
         res.verdict == mc::Verdict::Unsafe && res.cex.has_value() &&
         !mc::replayHitsBad(clones[i], *res.cex)) {
       // The independent referee rejected the trace: never report it.
@@ -100,7 +162,7 @@ PortfolioResult PortfolioRunner::runRace(const mc::Network& net) const {
 
   for (std::size_t i = 0; i < n; ++i) {
     EngineRun& run = out.runs[i];
-    run.engine = opts_.engines[i];
+    run.engine = opts.engines[i];
     run.verdict = results[i].verdict;
     run.steps = results[i].steps;
     run.seconds = results[i].seconds;

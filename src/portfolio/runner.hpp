@@ -16,6 +16,7 @@
 
 #include "mc/engines.hpp"
 #include "portfolio/budget.hpp"
+#include "prep/pipeline.hpp"
 
 namespace cbq::portfolio {
 
@@ -34,6 +35,11 @@ struct PortfolioOptions {
   /// failing replay demotes the verdict to Unknown (the engine keeps
   /// racing rivals instead of poisoning the result).
   bool verifyCex = true;
+
+  /// Preprocessing pipeline (prep/pipeline.hpp), run ONCE per problem
+  /// before any engine starts; every worker clones the reduced network.
+  /// Unsafe verdicts are lifted back and refereed on the original.
+  prep::PrepOptions prep{};
 
   ScheduleMode schedule = ScheduleMode::Race;
   // --- Slice mode only ---------------------------------------------------
@@ -55,11 +61,26 @@ struct EngineRun {
   util::Stats stats;
 };
 
+/// What preprocessing did to one problem, for reports. `decided` marks
+/// problems the pipeline settled without running any engine.
+struct PrepSummary {
+  bool enabled = false;
+  bool decided = false;
+  double seconds = 0.0;
+  std::size_t latchesBefore = 0, latchesAfter = 0;
+  std::size_t inputsBefore = 0, inputsAfter = 0;
+  std::size_t andsBefore = 0, andsAfter = 0;
+  std::vector<prep::PassStats> passes;
+};
+
 struct PortfolioResult {
   /// The winning engine's result; verdict Unknown (engine "portfolio")
-  /// when nobody produced a definitive answer within the budget.
+  /// when nobody produced a definitive answer within the budget. For
+  /// Unsafe verdicts `best.cex` is the LIFTED trace — it replays on the
+  /// original (pre-preprocessing) network.
   mc::CheckResult best;
   std::vector<EngineRun> runs;  ///< one per engine, in engine-set order
+  PrepSummary prep;             ///< preprocessing shrink record
   double wallSeconds = 0.0;
 
   [[nodiscard]] const EngineRun* winner() const {
@@ -79,14 +100,21 @@ class PortfolioRunner {
   /// Throws std::invalid_argument when an engine name is unknown.
   explicit PortfolioRunner(PortfolioOptions opts = {});
 
-  /// Runs the engine set on `net` under the configured schedule: Race
-  /// fans one thread per engine, Slice hands the problem to the
-  /// cooperative TimeSliceScheduler (time_slice.hpp). Thread-safe; `net`
-  /// is cloned per engine before any engine starts.
+  /// The engine entry path: preprocesses `net` once (prep pipeline, per
+  /// opts.prep), then runs the engine set on the REDUCED problem under
+  /// the configured schedule — Race fans one thread per engine, Slice
+  /// hands the problem to the cooperative TimeSliceScheduler
+  /// (time_slice.hpp); each worker clones the reduced network. An Unsafe
+  /// winner's trace is lifted through the transform stack and refereed by
+  /// replayHitsBad on the ORIGINAL network before it is reported.
+  /// Thread-safe.
   [[nodiscard]] PortfolioResult run(const mc::Network& net) const;
 
  private:
-  [[nodiscard]] PortfolioResult runRace(const mc::Network& net) const;
+  /// The race leg. `opts` is the caller's option set with the
+  /// whole-problem time limit already reduced by preprocessing time.
+  [[nodiscard]] PortfolioResult runRace(const mc::Network& net,
+                                        const PortfolioOptions& opts) const;
 
   PortfolioOptions opts_;
 };

@@ -95,7 +95,12 @@ BatchSummary BatchScheduler::run(
       r.verdict = pr.best.verdict;
       r.steps = pr.best.steps;
       r.seconds = pr.wallSeconds;
-      if (const EngineRun* w = pr.winner()) r.winnerEngine = w->engine;
+      if (const EngineRun* w = pr.winner()) {
+        r.winnerEngine = w->engine;
+      } else if (pr.prep.decided) {
+        r.winnerEngine = "prep";
+      }
+      r.prep = std::move(pr.prep);
       r.runs = std::move(pr.runs);
     } catch (const std::exception& e) {
       r.error = e.what();

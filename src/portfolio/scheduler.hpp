@@ -40,8 +40,9 @@ struct BatchProblemResult {
   std::string winnerEngine;  ///< empty when no engine was definitive
   int steps = 0;
   double seconds = 0.0;  ///< wall time of this problem's portfolio race
-  std::size_t latches = 0, inputs = 0, ands = 0;
+  std::size_t latches = 0, inputs = 0, ands = 0;  ///< original shape
   std::string error;  ///< parse/load failure; verdict stays Unknown
+  PrepSummary prep;   ///< what preprocessing removed (runner.hpp)
   std::vector<EngineRun> runs;
 };
 

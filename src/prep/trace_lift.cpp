@@ -1,0 +1,20 @@
+#include "prep/trace_lift.hpp"
+
+namespace cbq::prep {
+
+void CoiTransform::lift(mc::Trace& trace) const {
+  // Dropped inputs never influence the bad cone, so any completion is
+  // sound; an explicit false per step keeps the lifted trace a complete
+  // assignment over the original network's inputs.
+  for (auto& step : trace.inputs)
+    for (const aig::VarId v : droppedInputs_) step.emplace(v, false);
+}
+
+mc::Trace TraceLifter::lift(mc::Trace trace) const {
+  if (trace.inputs.empty()) trace.inputs.emplace_back();  // step-0 violation
+  for (auto it = stack_.rbegin(); it != stack_.rend(); ++it)
+    (*it)->lift(trace);
+  return trace;
+}
+
+}  // namespace cbq::prep

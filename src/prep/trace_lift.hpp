@@ -1,0 +1,126 @@
+#pragma once
+// Counterexample lifting for the preprocessing pipeline.
+//
+// Every prep pass that rewrites a Network leaves behind a Transform — a
+// pure-data record of what it removed or merged, detached from any AIG
+// manager so it can be shared across portfolio workers without cloning.
+// A TraceLifter holds the transform stack of a whole pipeline run and
+// maps a counterexample trace found on the *reduced* model back to a
+// trace that replays on the *original* network: passes are undone in
+// reverse application order, and the final trace carries an explicit
+// value for every original primary input (dropped inputs are free, so
+// any constant completes the trace; we pick false).
+//
+// The current passes never rename or re-time inputs, so lifting is a
+// completion problem rather than a renaming problem — but the stack is
+// the extension point where a future retiming/phase-abstraction pass
+// would plug in a genuinely structural lift.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "mc/result.hpp"
+
+namespace cbq::prep {
+
+/// The invertible record one pass leaves behind. Implementations must be
+/// self-contained data (no pointers into AIG managers): a PreparedProblem
+/// is shared read-only across every worker of a portfolio run.
+class Transform {
+ public:
+  virtual ~Transform() = default;
+  [[nodiscard]] virtual std::string pass() const = 0;
+
+  /// Rewrites a trace on the pass's *output* model into a trace on its
+  /// *input* model, in place.
+  virtual void lift(mc::Trace& trace) const = 0;
+};
+
+/// Cone-of-influence reduction: latches and inputs outside the bad cone's
+/// transitive support were dropped. Dropped inputs are unconstrained, so
+/// lifting completes each step with an explicit false.
+class CoiTransform final : public Transform {
+ public:
+  explicit CoiTransform(std::vector<aig::VarId> droppedInputs)
+      : droppedInputs_(std::move(droppedInputs)) {}
+  [[nodiscard]] std::string pass() const override { return "coi"; }
+  void lift(mc::Trace& trace) const override;
+
+  [[nodiscard]] const std::vector<aig::VarId>& droppedInputs() const {
+    return droppedInputs_;
+  }
+
+ private:
+  std::vector<aig::VarId> droppedInputs_;
+};
+
+/// Constant/stuck-at latch sweep: latches proven constant were substituted
+/// away. Inputs are untouched, so the trace lifts unchanged; the dropped
+/// latch list is kept for stats and debugging.
+class ConstLatchTransform final : public Transform {
+ public:
+  explicit ConstLatchTransform(std::vector<aig::VarId> droppedLatches)
+      : droppedLatches_(std::move(droppedLatches)) {}
+  [[nodiscard]] std::string pass() const override { return "const"; }
+  void lift(mc::Trace&) const override {}
+
+  [[nodiscard]] const std::vector<aig::VarId>& droppedLatches() const {
+    return droppedLatches_;
+  }
+
+ private:
+  std::vector<aig::VarId> droppedLatches_;
+};
+
+/// Structural simplification (sweeper + compaction): every root function
+/// is preserved exactly, so the trace lifts unchanged.
+class StructuralTransform final : public Transform {
+ public:
+  [[nodiscard]] std::string pass() const override { return "sweep"; }
+  void lift(mc::Trace&) const override {}
+};
+
+/// Latch correspondence: provably-equivalent latches were merged onto a
+/// representative. Inputs are untouched and the merged latches track the
+/// representative in every reachable state, so the trace lifts unchanged;
+/// the (merged var -> representative var) map is kept for stats.
+class LatchCorrTransform final : public Transform {
+ public:
+  explicit LatchCorrTransform(
+      std::vector<std::pair<aig::VarId, aig::VarId>> merged)
+      : merged_(std::move(merged)) {}
+  [[nodiscard]] std::string pass() const override { return "latchcorr"; }
+  void lift(mc::Trace&) const override {}
+
+  [[nodiscard]] const std::vector<std::pair<aig::VarId, aig::VarId>>&
+  merged() const {
+    return merged_;
+  }
+
+ private:
+  std::vector<std::pair<aig::VarId, aig::VarId>> merged_;
+};
+
+/// Maps traces on the fully-reduced model back to the original network.
+/// Copyable — the transform stack is shared, immutable state.
+class TraceLifter {
+ public:
+  TraceLifter() = default;
+  explicit TraceLifter(
+      std::vector<std::shared_ptr<const Transform>> stack)
+      : stack_(std::move(stack)) {}
+
+  /// Applies every transform's lift in reverse application order. An
+  /// empty trace (a pipeline-decided step-0 violation) is padded to one
+  /// all-default step so the result is replayable.
+  [[nodiscard]] mc::Trace lift(mc::Trace trace) const;
+
+  [[nodiscard]] std::size_t depth() const { return stack_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<const Transform>> stack_;
+};
+
+}  // namespace cbq::prep

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Exit-code contract test for `cbq check`:
+#   0 = SAFE, 10 = UNSAFE, 20 = UNKNOWN, 1 = usage/IO error.
+# Run by ctest as: cli_exit_codes.sh <path-to-cbq-binary>
+set -u
+
+CBQ="$1"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+fails=0
+
+expect() {
+  local want="$1"
+  shift
+  "$@" >/dev/null 2>&1
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: '$*' exited $got, expected $want"
+    fails=$((fails + 1))
+  fi
+}
+
+"$CBQ" gen counter --width 3 -o "$TMP/safe.aag" || exit 1
+"$CBQ" gen counter --width 3 --unsafe -o "$TMP/unsafe.aag" || exit 1
+"$CBQ" gen haystack --width 3 --unsafe -o "$TMP/hay.aag" || exit 1
+printf 'aag 1 1 0 1 0\nnot a literal\n' > "$TMP/broken.aag"
+
+# 0: property proven.
+expect 0 "$CBQ" check "$TMP/safe.aag" --timeout 60
+# 10: replay-confirmed counterexample (also via the prep pipeline).
+expect 10 "$CBQ" check "$TMP/unsafe.aag" --timeout 60
+expect 10 "$CBQ" check "$TMP/hay.aag" --timeout 60 --prep on
+expect 10 "$CBQ" check "$TMP/hay.aag" --timeout 60 --prep=off
+# 20: no definitive verdict (BMC alone cannot prove a safe instance).
+expect 20 "$CBQ" check "$TMP/safe.aag" --engine bmc --timeout 60
+# 1: usage and input errors.
+expect 1 "$CBQ" check
+expect 1 "$CBQ" check "$TMP/no-such-file.aag"
+expect 1 "$CBQ" check "$TMP/broken.aag"
+expect 1 "$CBQ" check "$TMP/safe.aag" --engine no-such-engine
+expect 1 "$CBQ" check "$TMP/safe.aag" --prep bogus-pass
+expect 1 "$CBQ" check "$TMP/safe.aag" --schedule bogus
+
+# Parse errors must name the offending line (satellite: line-numbered
+# diagnostics).
+msg="$("$CBQ" check "$TMP/broken.aag" 2>&1)"
+case "$msg" in
+  *"line 2"*) ;;
+  *)
+    echo "FAIL: parse error lacks line number: $msg"
+    fails=$((fails + 1))
+    ;;
+esac
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails exit-code contract violations"
+  exit 1
+fi
+echo "exit-code contract holds"

@@ -18,6 +18,7 @@ using mc::Verdict;
 /// Unsafe counterexample depths known by construction (trace length - 1).
 int expectedCexDepth(const circuits::Instance& inst) {
   if (inst.family == "counter") return (1 << inst.width) - 1;
+  if (inst.family == "haystack") return (1 << inst.width) - 1;
   if (inst.family == "evencount") return (1 << (inst.width - 1)) - 1;
   if (inst.family == "queue") return (1 << inst.width) - 1;
   return -1;  // not pinned for the others
@@ -71,7 +72,7 @@ std::string engineSuiteName(
 INSTANTIATE_TEST_SUITE_P(
     AllPairs, EngineSuite,
     ::testing::Combine(::testing::Range(0, 8),
-                       ::testing::Range<std::size_t>(0, 32)),
+                       ::testing::Range<std::size_t>(0, 34)),
     engineSuiteName);
 
 TEST(Engines, SatEnginesFindMinimalDepthCounterexamples) {

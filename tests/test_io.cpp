@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 #include <sstream>
 
 #include "circuits/io.hpp"
@@ -307,6 +310,17 @@ TEST(Io, ParseErrors) {
     EXPECT_THROW(readAag(ss), ParseError);
   }
   {
+    // Literal 0 is the constant; an input claiming it would corrupt
+    // every constant literal in the file (here: flip a trivially-SAFE
+    // constant-false output into a free variable).
+    std::stringstream ss("aag 1 1 0 1 0\n0\n0\n");
+    EXPECT_THROW(readAag(ss), ParseError);
+  }
+  {
+    std::stringstream ss("aag 1 0 1 0 0\n0 3\n");  // latch literal 0
+    EXPECT_THROW(readAag(ss), ParseError);
+  }
+  {
     std::stringstream ss("INPUT(a)\nOUTPUT(o)\no = FROB(a)\n");
     EXPECT_THROW(readBench(ss), ParseError);
   }
@@ -321,6 +335,68 @@ TEST(Io, ParseErrors) {
   EXPECT_THROW(circuits::readCircuitFile("/nonexistent/file.aag"),
                ParseError);
   EXPECT_THROW(circuits::readCircuitFile("/tmp/whatever.xyz"), ParseError);
+}
+
+TEST(Io, ParseErrorsReportTheOffendingLine) {
+  auto messageOf = [](auto&& parse) -> std::string {
+    try {
+      parse();
+    } catch (const ParseError& e) {
+      return e.what();
+    }
+    return "(no error)";
+  };
+
+  {
+    // Latch definition on line 3 is malformed.
+    std::stringstream ss("aag 3 1 1 1 0\n2\nnot a latch\n2\n");
+    const std::string msg = messageOf([&] { readAag(ss); });
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  }
+  {
+    // AND definition on line 5 is malformed.
+    std::stringstream ss("aag 3 1 1 1 1\n2\n4 4\n2\nbroken\n");
+    const std::string msg = messageOf([&] { readAag(ss); });
+    EXPECT_NE(msg.find("line 5"), std::string::npos) << msg;
+  }
+  {
+    // Input literal on line 2 is odd.
+    std::stringstream ss("aag 1 1 0 0 0\n3\n");
+    const std::string msg = messageOf([&] { readAag(ss); });
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  }
+  {
+    // File truncated: the missing latch line is reported where it was
+    // expected.
+    std::stringstream ss("aag 2 1 1 0 0\n2\n");
+    const std::string msg = messageOf([&] { readAag(ss); });
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  }
+  {
+    // Unknown .bench gate type on line 3.
+    std::stringstream ss("INPUT(a)\nOUTPUT(o)\no = FROB(a)\n");
+    const std::string msg = messageOf([&] { readBench(ss); });
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  }
+  {
+    // Undefined .bench output named on line 2.
+    std::stringstream ss("INPUT(a)\nOUTPUT(missing)\n");
+    const std::string msg = messageOf([&] { readBench(ss); });
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  }
+  {
+    // readCircuitFile prefixes the file path to the line diagnostic.
+    const std::string path =
+        ::testing::TempDir() + "/cbq_io_lineno_test.aag";
+    std::ofstream out(path);
+    out << "aag 1 1 0 0 0\nnonsense\n";
+    out.close();
+    const std::string msg =
+        messageOf([&] { circuits::readCircuitFile(path); });
+    EXPECT_NE(msg.find(path), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    std::remove(path.c_str());
+  }
 }
 
 }  // namespace

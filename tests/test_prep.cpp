@@ -1,0 +1,372 @@
+// Preprocessing pipeline tests: every pass (and the full pipeline) must
+// preserve the verdict in both directions, and every Unsafe verdict found
+// on a reduced model must lift to a trace that replays on the ORIGINAL
+// network — across random models, the generated families, and the
+// haystack family built specifically to exercise each pass.
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "circuits/suite.hpp"
+#include "helpers.hpp"
+#include "mc/engines.hpp"
+#include "prep/pipeline.hpp"
+#include "util/random.hpp"
+
+namespace cbq {
+namespace {
+
+using aig::Lit;
+using aig::VarId;
+using mc::Network;
+using mc::Verdict;
+
+/// Random sequential network, same construction as test_random_models.
+Network randomNetwork(util::Random& rng, int latches, int inputs) {
+  mc::NetworkBuilder b("random");
+  std::vector<Lit> state;
+  for (int i = 0; i < latches; ++i) state.push_back(b.addLatch(rng.flip()));
+  for (int i = 0; i < inputs; ++i) b.addInput();
+  aig::Aig& g = b.aig();
+  const int vars = latches + inputs;
+  for (int i = 0; i < latches; ++i)
+    b.setNext(static_cast<std::size_t>(i),
+              test::randomFormula(g, rng, vars, 8));
+  const Lit raw = test::randomFormula(g, rng, vars, 6);
+  b.setBad(g.mkAnd(raw, state[rng.below(static_cast<std::uint64_t>(
+                       latches))] ^ rng.flip()));
+  return b.finish();
+}
+
+/// Explicit-state BFS ground truth (tiny models only).
+Verdict explicitStateCheck(const Network& net) {
+  const int latches = static_cast<int>(net.numLatches());
+  const int inputs = static_cast<int>(net.numInputs());
+  auto assignmentFor = [&](std::uint32_t s, std::uint32_t in) {
+    std::unordered_map<VarId, bool> a;
+    for (int i = 0; i < latches; ++i)
+      a.emplace(net.stateVars[static_cast<std::size_t>(i)],
+                ((s >> i) & 1) != 0);
+    for (int i = 0; i < inputs; ++i)
+      a.emplace(net.inputVars[static_cast<std::size_t>(i)],
+                ((in >> i) & 1) != 0);
+    return a;
+  };
+  std::uint32_t initState = 0;
+  for (int i = 0; i < latches; ++i)
+    if (net.init[static_cast<std::size_t>(i)]) initState |= 1u << i;
+  std::vector<bool> seen(std::size_t{1} << latches, false);
+  std::queue<std::uint32_t> queue;
+  seen[initState] = true;
+  queue.push(initState);
+  while (!queue.empty()) {
+    const std::uint32_t s = queue.front();
+    queue.pop();
+    for (std::uint32_t in = 0; in < (1u << inputs); ++in) {
+      const auto a = assignmentFor(s, in);
+      if (net.aig.evaluate(net.bad, a)) return Verdict::Unsafe;
+      std::uint32_t t = 0;
+      for (int i = 0; i < latches; ++i)
+        if (net.aig.evaluate(net.next[static_cast<std::size_t>(i)], a))
+          t |= 1u << i;
+      if (!seen[t]) {
+        seen[t] = true;
+        queue.push(t);
+      }
+    }
+  }
+  return Verdict::Safe;
+}
+
+/// Runs one pass, checks verdict preservation against the explicit-state
+/// referee, and — on Unsafe — that a trace found on the reduced model
+/// lifts to a replayable trace on the original.
+void checkPassSound(const char* passName, const Network& original,
+                    const prep::PassResult& r) {
+  SCOPED_TRACE(passName);
+  // A no-op pass returns an empty net; the caller keeps its input.
+  const Network& reduced = r.changed ? r.net : original;
+  ASSERT_TRUE(reduced.wellFormed());
+  const Verdict truth = explicitStateCheck(original);
+  EXPECT_EQ(explicitStateCheck(reduced), truth);
+
+  if (truth != Verdict::Unsafe) return;
+  // bdd-bwd is complete on these tiny models and always builds traces.
+  const auto res = mc::makeEngine("bdd-bwd")->check(reduced);
+  ASSERT_EQ(res.verdict, Verdict::Unsafe);
+  ASSERT_TRUE(res.cex.has_value());
+
+  std::vector<std::shared_ptr<const prep::Transform>> stack;
+  if (r.transform) stack.push_back(r.transform);
+  const mc::Trace lifted = prep::TraceLifter(stack).lift(*res.cex);
+  EXPECT_TRUE(mc::replayHitsBad(original, lifted));
+}
+
+class PrepRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrepRandom, EveryPassPreservesVerdictAndLiftsTraces) {
+  util::Random rng(static_cast<std::uint64_t>(GetParam()) * 9173 + 5);
+  const int latches = 2 + static_cast<int>(rng.below(3));
+  const int inputs = 1 + static_cast<int>(rng.below(2));
+  const Network net = randomNetwork(rng, latches, inputs);
+
+  checkPassSound("coi", net, prep::coiReduction(net));
+  checkPassSound("const", net, prep::constLatchSweep(net));
+  checkPassSound("sweep", net, prep::structuralSimplify(net));
+  checkPassSound("latchcorr", net, prep::latchCorrespondence(net));
+}
+
+TEST_P(PrepRandom, FullPipelineAgreesWithEnginesOnOriginal) {
+  util::Random rng(static_cast<std::uint64_t>(GetParam()) * 4391 + 17);
+  const int latches = 2 + static_cast<int>(rng.below(3));
+  const int inputs = 1 + static_cast<int>(rng.below(2));
+  const Network net = randomNetwork(rng, latches, inputs);
+  const Verdict truth = explicitStateCheck(net);
+
+  const prep::PreparedProblem pp = prep::Pipeline().run(net);
+  if (pp.decided.has_value()) {
+    EXPECT_EQ(*pp.decided, truth);
+    if (*pp.decided == Verdict::Unsafe) {
+      ASSERT_TRUE(pp.decidedCex.has_value());
+      EXPECT_TRUE(mc::replayHitsBad(net, *pp.decidedCex));
+    }
+    return;
+  }
+
+  for (const char* name : {"cbq-reach", "bdd-bwd", "bmc", "allsat-reach"}) {
+    const auto res = prep::checkWithPrep(*mc::makeEngine(name), net);
+    if (res.verdict == Verdict::Unknown) {
+      EXPECT_EQ(truth, Verdict::Safe) << name;  // bounded give-up only
+      continue;
+    }
+    EXPECT_EQ(res.verdict, truth) << name;
+    if (res.verdict == Verdict::Unsafe) {
+      // checkWithPrep already demotes on failed replay; an Unsafe result
+      // therefore carries an original-network-replayable trace.
+      ASSERT_TRUE(res.cex.has_value()) << name;
+      EXPECT_TRUE(mc::replayHitsBad(net, *res.cex)) << name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrepRandom, ::testing::Range(0, 20));
+
+TEST(PrepFamilies, UnsafeInstancesLiftThroughEveryPassAndThePipeline) {
+  const struct {
+    const char* family;
+    int width;
+  } specs[] = {{"counter", 3}, {"gray", 3},  {"ring", 4},
+               {"queue", 3},   {"lfsr", 4},  {"haystack", 3}};
+  for (const auto& spec : specs) {
+    SCOPED_TRACE(spec.family);
+    const auto inst = circuits::makeInstance(spec.family, spec.width, false);
+
+    // Per-pass: reduced-model trace lifts to the original.
+    for (const auto* pass : {"coi", "const", "sweep", "latchcorr"}) {
+      SCOPED_TRACE(pass);
+      prep::PassResult r;
+      const std::string p = pass;
+      if (p == "coi") {
+        r = prep::coiReduction(inst.net);
+      } else if (p == "const") {
+        r = prep::constLatchSweep(inst.net);
+      } else if (p == "sweep") {
+        r = prep::structuralSimplify(inst.net);
+      } else {
+        r = prep::latchCorrespondence(inst.net);
+      }
+      const Network& reduced = r.changed ? r.net : inst.net;
+      const auto res = mc::makeEngine("bdd-bwd")->check(reduced);
+      ASSERT_EQ(res.verdict, Verdict::Unsafe);
+      ASSERT_TRUE(res.cex.has_value());
+      std::vector<std::shared_ptr<const prep::Transform>> stack;
+      if (r.transform) stack.push_back(r.transform);
+      EXPECT_TRUE(mc::replayHitsBad(
+          inst.net, prep::TraceLifter(stack).lift(*res.cex)));
+    }
+
+    // Full pipeline through several engines.
+    for (const char* name : {"cbq-reach", "bdd-bwd", "bmc"}) {
+      const auto res = prep::checkWithPrep(*mc::makeEngine(name), inst.net);
+      EXPECT_EQ(res.verdict, Verdict::Unsafe) << name;
+      ASSERT_TRUE(res.cex.has_value()) << name;
+      EXPECT_TRUE(mc::replayHitsBad(inst.net, *res.cex)) << name;
+    }
+  }
+}
+
+TEST(PrepFamilies, SafeInstancesStaySafeBehindThePipeline) {
+  for (const auto* family : {"counter", "ring", "haystack"}) {
+    const auto inst = circuits::makeInstance(family, 3, true);
+    for (const char* name : {"cbq-reach", "bdd-bwd", "k-induction"}) {
+      const auto res = prep::checkWithPrep(*mc::makeEngine(name), inst.net);
+      EXPECT_EQ(res.verdict, Verdict::Safe) << family << "/" << name;
+    }
+  }
+}
+
+TEST(PrepHaystack, PipelineStripsTheHaystackDownToTheCore) {
+  for (const bool safe : {true, false}) {
+    const auto inst = circuits::makeInstance("haystack", 4, safe);
+    ASSERT_EQ(inst.net.numLatches(), 22u);  // 5n + 2 at n = 4
+    ASSERT_EQ(inst.net.numInputs(), 3u);
+
+    const prep::PreparedProblem pp = prep::Pipeline().run(inst.net);
+    EXPECT_FALSE(pp.decided.has_value());
+    // Only the n-bit counter core and its enable survive.
+    EXPECT_EQ(pp.reduced.numLatches(), 4u);
+    EXPECT_EQ(pp.reduced.numInputs(), 1u);
+    EXPECT_LT(pp.reduced.aig.numAnds(), inst.net.aig.numAnds() / 3);
+  }
+}
+
+TEST(PrepHaystack, EachPassRemovesItsOwnClutter) {
+  const auto inst = circuits::makeInstance("haystack", 4, true);
+
+  // COI alone drops the disconnected scrambler (n latches + its input).
+  const auto coi = prep::coiReduction(inst.net);
+  ASSERT_TRUE(coi.changed);
+  EXPECT_EQ(coi.net.numLatches(), 18u);
+  EXPECT_EQ(coi.net.numInputs(), 2u);
+
+  // Constant sweep alone removes both stuck-at latches.
+  const auto cst = prep::constLatchSweep(inst.net);
+  ASSERT_TRUE(cst.changed);
+  EXPECT_EQ(cst.net.numLatches(), 20u);
+  const auto* t =
+      dynamic_cast<const prep::ConstLatchTransform*>(cst.transform.get());
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->droppedLatches().size(), 2u);
+
+  // Latch correspondence alone merges the duplicated core register.
+  const auto corr = prep::latchCorrespondence(inst.net);
+  ASSERT_TRUE(corr.changed);
+  EXPECT_EQ(corr.net.numLatches(), 18u);
+  const auto* lt =
+      dynamic_cast<const prep::LatchCorrTransform*>(corr.transform.get());
+  ASSERT_NE(lt, nullptr);
+  EXPECT_EQ(lt->merged().size(), 4u);
+}
+
+TEST(PrepDecided, ConstantFalseBadIsDecidedSafe) {
+  mc::NetworkBuilder b("trivial-safe");
+  const Lit s = b.addLatch(false);
+  b.setNextOf(s, !s);
+  b.setBad(aig::kFalse);
+  const Network net = b.finish();
+
+  const prep::PreparedProblem pp = prep::Pipeline().run(net);
+  ASSERT_TRUE(pp.decided.has_value());
+  EXPECT_EQ(*pp.decided, Verdict::Safe);
+}
+
+TEST(PrepDecided, InitialStateViolationIsDecidedUnsafeWithReplayableTrace) {
+  mc::NetworkBuilder b("trivial-unsafe");
+  const Lit s = b.addLatch(false);
+  b.setNextOf(s, s);
+  b.setBad(!s);  // init value 0 violates immediately
+  const Network net = b.finish();
+
+  const prep::PreparedProblem pp = prep::Pipeline().run(net);
+  ASSERT_TRUE(pp.decided.has_value());
+  EXPECT_EQ(*pp.decided, Verdict::Unsafe);
+  ASSERT_TRUE(pp.decidedCex.has_value());
+  EXPECT_GE(pp.decidedCex->length(), 1u);
+  EXPECT_TRUE(mc::replayHitsBad(net, *pp.decidedCex));
+}
+
+TEST(PrepDecided, ConstSweepCollapsingBadIsDecidedSafe) {
+  // bad = stuckZero & input: the guard latch never leaves 0, so the sweep
+  // rewrites bad to constant false and the pipeline decides Safe.
+  mc::NetworkBuilder b("guarded-safe");
+  const Lit guard = b.addLatch(false);
+  const Lit live = b.addLatch(false);
+  const Lit in = b.addInput();
+  b.setNextOf(guard, guard);
+  b.setNextOf(live, !live);
+  b.setBad(b.aig().mkAnd(guard, in));
+  const Network net = b.finish();
+
+  const prep::PreparedProblem pp = prep::Pipeline().run(net);
+  ASSERT_TRUE(pp.decided.has_value());
+  EXPECT_EQ(*pp.decided, Verdict::Safe);
+}
+
+TEST(PrepLifter, CompletesDroppedInputsAndPadsEmptyTraces) {
+  std::vector<std::shared_ptr<const prep::Transform>> stack;
+  stack.push_back(std::make_shared<prep::CoiTransform>(
+      std::vector<VarId>{7, 9}));
+  const prep::TraceLifter lifter(stack);
+
+  mc::Trace t;
+  t.inputs.push_back({{3, true}});
+  t.inputs.push_back({{3, false}});
+  const mc::Trace lifted = lifter.lift(t);
+  ASSERT_EQ(lifted.length(), 2u);
+  for (const auto& step : lifted.inputs) {
+    EXPECT_TRUE(step.contains(7));
+    EXPECT_FALSE(step.at(7));
+    EXPECT_TRUE(step.contains(9));
+    EXPECT_FALSE(step.at(9));
+  }
+  EXPECT_TRUE(lifted.inputs[0].at(3));
+
+  // An empty (step-0) trace pads to one replayable step.
+  EXPECT_EQ(lifter.lift(mc::Trace{}).length(), 1u);
+}
+
+TEST(PrepOptions, DisabledPipelineIsAnIdentity) {
+  const auto inst = circuits::makeInstance("haystack", 3, true);
+  prep::PrepOptions opts;
+  opts.enabled = false;
+  const prep::PreparedProblem pp = prep::Pipeline(opts).run(inst.net);
+  EXPECT_TRUE(pp.identity);
+  EXPECT_EQ(&pp.problem(inst.net), &inst.net);  // disabled: no copy
+  EXPECT_TRUE(pp.passes.empty());
+  EXPECT_TRUE(pp.stack.empty());
+  EXPECT_FALSE(pp.decided.has_value());
+}
+
+TEST(PrepOptions, ZeroAndNetworkConvergesWithoutPhantomPasses) {
+  // 1-latch toggle, bad = latch: every cone is 0 AND nodes. The sweep
+  // pass must not report a phantom "shrink" (0 <= 0) round after round —
+  // the pipeline converges with no pass recorded and no transforms.
+  mc::NetworkBuilder b("toggle");
+  const Lit s = b.addLatch(false);
+  b.setNextOf(s, !s);
+  b.setBad(s);
+  const Network net = b.finish();
+
+  const prep::PreparedProblem pp = prep::Pipeline().run(net);
+  EXPECT_TRUE(pp.passes.empty());
+  EXPECT_TRUE(pp.stack.empty());
+  EXPECT_TRUE(pp.identity);
+  EXPECT_EQ(&pp.problem(net), &net);  // identity: no copy was made
+}
+
+TEST(PrepOptions, ExhaustedBudgetShortCircuitsThePipeline) {
+  // --timeout covers preprocessing too: an already-exhausted budget must
+  // stop the pipeline before any pass runs (sound: identity result).
+  const auto inst = circuits::makeInstance("haystack", 4, true);
+  portfolio::CancelToken cancelled;
+  cancelled.cancel();
+  const portfolio::Budget spent(0.0, 0, &cancelled);
+  const prep::PreparedProblem pp = prep::Pipeline().run(inst.net, spent);
+  EXPECT_TRUE(pp.identity);
+  EXPECT_TRUE(pp.passes.empty());
+}
+
+TEST(PrepOptions, IndividualKnobsDisableTheirPass) {
+  const auto inst = circuits::makeInstance("haystack", 3, true);
+  prep::PrepOptions opts;
+  opts.latchCorr = false;
+  const prep::PreparedProblem pp = prep::Pipeline(opts).run(inst.net);
+  // Without latch correspondence the duplicated core register stays in
+  // the bad cone (COI cannot drop it).
+  EXPECT_EQ(pp.reduced.numLatches(), 6u);  // core + copy
+  for (const auto& ps : pp.passes) EXPECT_NE(ps.pass, "latchcorr");
+}
+
+}  // namespace
+}  // namespace cbq
