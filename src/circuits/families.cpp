@@ -422,6 +422,82 @@ Network makeHaystack(int n, bool safe) {
   return b.finish();
 }
 
+Network makeGiantHaystack(int n, int mixGates, int copies, bool safe) {
+  assert(n >= 2);
+  assert(mixGates >= 1);
+  assert(copies >= 1);
+  NetworkBuilder b(std::string("giant") + (safe ? "-safe-" : "-buggy-") +
+                   std::to_string(n) + "x" + std::to_string(mixGates) + "x" +
+                   std::to_string(copies));
+  std::vector<Lit> core;
+  for (int i = 0; i < n; ++i) core.push_back(b.addLatch(false));
+  std::vector<std::vector<Lit>> copy(static_cast<std::size_t>(copies));
+  for (auto& c : copy)
+    for (int i = 0; i < n; ++i) c.push_back(b.addLatch(false));
+  const Lit en = b.addInput();
+  // Extra mixing inputs, shared by the two cones of every pair: they
+  // widen each stage's support to ~36 variables, so the pipeline stages
+  // are functionally diverse — without them everything is a function of
+  // the n register bits and the sweeper mass-merges the whole cone,
+  // turning the workload SAT-bound instead of signature-bound.
+  std::vector<Lit> noise;
+  for (int i = 0; i < 32; ++i) noise.push_back(b.addInput());
+  aig::Aig& g = b.aig();
+
+  // Core and every copy step with the SAME counter logic (the safe
+  // variant wraps one short of all-ones, exactly like makeCounter).
+  const std::uint64_t allOnes = (std::uint64_t{1} << n) - 1;
+  auto step = [&](std::span<const Lit> reg) {
+    auto inc = incremented(g, reg);
+    if (safe) {
+      const Lit atWrap = equalsConst(g, reg, allOnes - 1);
+      for (auto& bit : inc) bit = g.mkAnd(bit, !atWrap);
+    }
+    return muxVec(g, en, inc, reg);
+  };
+  const auto coreNext = step(core);
+  for (int i = 0; i < n; ++i)
+    b.setNextOf(core[static_cast<std::size_t>(i)],
+                coreNext[static_cast<std::size_t>(i)]);
+  for (auto& c : copy) {
+    const auto next = step(c);
+    for (int i = 0; i < n; ++i)
+      b.setNextOf(c[static_cast<std::size_t>(i)],
+                  next[static_cast<std::size_t>(i)]);
+  }
+
+  // Balanced combinational mixing pipeline over a register: a Trivium-
+  // style shift with a nonlinear tap (one XOR + one AND per stage, ≈4
+  // ANDs after XOR lowering). `salt` varies the tap pattern per copy so
+  // the k mix pairs are distinct functions; the two cones of one pair
+  // are structurally identical modulo core-vs-copy variables.
+  auto mix = [&](std::span<const Lit> reg, int salt) {
+    std::vector<Lit> s(reg.begin(), reg.end());
+    s.insert(s.end(), noise.begin(), noise.end());
+    const std::size_t len = s.size();
+    Lit out = s[0];
+    for (int j = 0; j < mixGates; ++j) {
+      const std::size_t a = static_cast<std::size_t>(j + salt) % len;
+      const std::size_t c = static_cast<std::size_t>(j * 5 + salt + 1) % len;
+      const Lit t = g.mkXor(s[a], g.mkAnd(out, s[c]));
+      s[a] = t;
+      out = t;
+    }
+    return out;
+  };
+
+  // bad = core property violation ∨ any mix pair diverging (never
+  // happens: each copy tracks the core bit-for-bit, so equal inputs give
+  // equal mix outputs — latch correspondence proves the registers equal
+  // and the rebuild collapses every pair).
+  std::vector<Lit> terms{equalsConst(g, core, allOnes)};
+  for (std::size_t k = 0; k < copy.size(); ++k)
+    terms.push_back(g.mkXor(mix(core, static_cast<int>(k)),
+                            mix(copy[k], static_cast<int>(k))));
+  b.setBad(g.mkOrAll(terms));
+  return b.finish();
+}
+
 Network makePeterson(bool safe) {
   NetworkBuilder b(std::string("peterson") + (safe ? "-safe" : "-buggy"));
   // Program counters: 00 idle, 01 trying, 10 critical.

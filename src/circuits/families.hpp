@@ -92,6 +92,23 @@ mc::Network makeMultiplier(int k, bool safe);
 /// k-induction even without preprocessing.
 mc::Network makeHaystack(int n, bool safe);
 
+/// Million-gate haystack — the intra-problem-parallelism showcase. The
+/// same n-bit counter core (and property) as makeHaystack, plus `copies`
+/// duplicate registers stepping in lock-step with the core; each copy is
+/// compared against the core through a `mixGates`-stage combinational
+/// mixing cone (a balanced XOR/AND pipeline, ~4 ANDs per stage, built
+/// once over the core bits and once over the copy bits), with the XOR of
+/// the two mix outputs OR-ed into bad. Total size ≈ 8 · mixGates ·
+/// copies ANDs, so width pushes the bad cone to 10⁵–10⁶ gates while the
+/// verdict stays that of the n-bit counter: the copies never diverge, so
+/// every mix pair agrees forever. Latch correspondence proves the copies
+/// equal, the rebuild then hash-collapses each mix pair (XOR of
+/// identical cones folds to constant false), and the engines see a plain
+/// counter — but until that happens, every prep pass and the sweeper's
+/// signature arena grind a million-gate cone: exactly the workload the
+/// parallel execution layer exists for.
+mc::Network makeGiantHaystack(int n, int mixGates, int copies, bool safe);
+
 /// Peterson's mutual-exclusion protocol for two processes (program
 /// counters, flags, turn; scheduler + request inputs). bad = both in the
 /// critical section. The unsafe variant lowers a process's flag while it

@@ -291,13 +291,42 @@ void writeAag(const Network& net, std::ostream& out) {
 
 namespace {
 
+/// Streaming byte source for the binary AND section: a fixed 64 KiB
+/// buffer refilled with block reads. A million-gate instance decodes a
+/// few megabytes of delta bytes; pulling them through per-byte
+/// istream::get() virtual calls dominated the read, and slurping the
+/// whole file would cost peak memory the giant bench family is built to
+/// avoid. The buffer never grows past kChunk regardless of file size.
+class ChunkedByteReader {
+ public:
+  explicit ChunkedByteReader(std::istream& in) : in_(in) {}
+
+  /// Next byte as 0..255, or -1 at end of input.
+  int get() {
+    if (pos_ == len_) {
+      in_.read(buf_, kChunk);
+      len_ = static_cast<std::size_t>(in_.gcount());
+      pos_ = 0;
+      if (len_ == 0) return -1;
+    }
+    return static_cast<unsigned char>(buf_[pos_++]);
+  }
+
+ private:
+  static constexpr std::size_t kChunk = 64 * 1024;
+  std::istream& in_;
+  char buf_[kChunk];
+  std::size_t pos_ = 0;
+  std::size_t len_ = 0;
+};
+
 /// LEB128-style varint used by the AIGER binary AND section.
-unsigned readDelta(std::istream& in) {
+unsigned readDelta(ChunkedByteReader& in) {
   unsigned x = 0;
   int shift = 0;
   for (;;) {
     const int ch = in.get();
-    if (ch == EOF) throw ParseError("truncated binary AND section");
+    if (ch < 0) throw ParseError("truncated binary AND section");
     x |= static_cast<unsigned>(ch & 0x7f) << shift;
     if ((ch & 0x80) == 0) break;
     shift += 7;
@@ -373,11 +402,14 @@ mc::Network readAigBinary(std::istream& in, std::string name) {
   };
 
   // Binary AND section: lhs implicit (2*(I+L+k+1)), rhs delta-encoded;
-  // the format guarantees topological order.
+  // the format guarantees topological order. Decoded through a fixed-
+  // size chunked buffer — the reader streams a million-gate file without
+  // ever holding more than one chunk of it.
+  ChunkedByteReader bytes(in);
   for (unsigned k = 0; k < a; ++k) {
     const unsigned lhs = 2 * (i + l + 1 + k);
-    const unsigned delta0 = readDelta(in);
-    const unsigned delta1 = readDelta(in);
+    const unsigned delta0 = readDelta(bytes);
+    const unsigned delta1 = readDelta(bytes);
     if (delta0 > lhs) throw ParseError("invalid delta0");
     const unsigned rhs0 = lhs - delta0;
     if (delta1 > rhs0) throw ParseError("invalid delta1");

@@ -6,7 +6,8 @@ namespace cbq::circuits {
 
 std::vector<std::string> familyNames() {
   return {"counter", "evencount", "gray", "ring", "arbiter",
-          "traffic", "lfsr", "queue", "mult", "peterson", "haystack"};
+          "traffic", "lfsr", "queue", "mult", "peterson", "haystack",
+          "giant"};
 }
 
 Instance makeInstance(const std::string& family, int width, bool safe) {
@@ -38,6 +39,10 @@ Instance makeInstance(const std::string& family, int width, bool safe) {
     inst.width = 0;
   } else if (family == "haystack") {
     inst.net = makeHaystack(width, safe);
+  } else if (family == "giant") {
+    // width = mixing stages per comparison cone; the 4-bit core and two
+    // duplicate registers are fixed, so ANDs ≈ 16 · width + O(1).
+    inst.net = makeGiantHaystack(4, width, 2, safe);
   } else {
     throw std::invalid_argument("unknown benchmark family: " + family);
   }
@@ -64,6 +69,9 @@ std::vector<Instance> standardSuite() {
     suite.push_back(makeInstance("mult", 4, safe));
     suite.push_back(makeInstance("peterson", 0, safe));
     suite.push_back(makeInstance("haystack", 3, safe));
+    // Small enough for every engine raw (the BDD baselines blow up on
+    // the wide mixing support past ~width 10); bench-par scales it up.
+    suite.push_back(makeInstance("giant", 8, safe));
   }
   return suite;
 }

@@ -139,6 +139,8 @@ void writeJson(const BatchSummary& summary, std::ostream& out) {
 void writeCsv(const BatchSummary& summary, std::ostream& out) {
   out << "name,path,verdict,winner,steps,seconds,latches,inputs,ands,"
          "prep_seconds,prep_latches,prep_inputs,prep_ands,"
+         "prep_coi_seconds,prep_const_seconds,prep_sweep_seconds,"
+         "prep_latchcorr_seconds,"
          "propagations,decisions,conflicts,error\n";
   for (const BatchProblemResult& p : summary.problems) {
     // Effort columns aggregate over every engine that ran on the problem.
@@ -148,12 +150,23 @@ void writeCsv(const BatchSummary& summary, std::ostream& out) {
       decs += r.stats.count("sat.decisions");
       confs += r.stats.count("sat.conflicts");
     }
+    // A pass may fire several times across pipeline rounds; its CSV
+    // column is the total wall time it spent on this problem.
+    double coiSec = 0, constSec = 0, sweepSec = 0, corrSec = 0;
+    for (const prep::PassStats& ps : p.prep.passes) {
+      if (ps.pass == "coi") coiSec += ps.seconds;
+      else if (ps.pass == "const") constSec += ps.seconds;
+      else if (ps.pass == "sweep") sweepSec += ps.seconds;
+      else if (ps.pass == "latchcorr") corrSec += ps.seconds;
+    }
     out << csvField(p.name) << ',' << csvField(p.path) << ','
         << mc::toString(p.verdict) << ',' << csvField(p.winnerEngine) << ','
         << p.steps << ',' << jsonNumber(p.seconds) << ',' << p.latches << ','
         << p.inputs << ',' << p.ands << ','
         << jsonNumber(p.prep.seconds) << ',' << p.prep.latchesAfter << ','
         << p.prep.inputsAfter << ',' << p.prep.andsAfter << ','
+        << jsonNumber(coiSec) << ',' << jsonNumber(constSec) << ','
+        << jsonNumber(sweepSec) << ',' << jsonNumber(corrSec) << ','
         << props << ',' << decs << ',' << confs << ','
         << csvField(p.error) << '\n';
   }

@@ -1,11 +1,13 @@
 #include "portfolio/runner.hpp"
 
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
 #include "portfolio/time_slice.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace cbq::portfolio {
@@ -29,9 +31,17 @@ PortfolioResult PortfolioRunner::run(const mc::Network& net) const {
   // Preprocessing: once per problem, before any engine starts, bounded
   // by the same whole-problem time limit the engines get (the remainder
   // is what the schedulers may spend). The schedulers then clone the
-  // (possibly reduced) problem per worker.
-  prep::PreparedProblem prepared = prep::Pipeline(opts_.prep).run(
-      net, Budget(opts_.timeLimitSeconds));
+  // (possibly reduced) problem per worker. A parThreads budget > 1
+  // equips the pipeline with a per-run worker pool unless the caller
+  // already shares one (the CLI creates a single process-wide pool).
+  prep::PrepOptions prepOpts = opts_.prep;
+  std::unique_ptr<util::ThreadPool> ownPool;
+  if (prepOpts.pool == nullptr && opts_.parThreads > 1) {
+    ownPool = std::make_unique<util::ThreadPool>(opts_.parThreads);
+    prepOpts.pool = ownPool.get();
+  }
+  prep::PreparedProblem prepared =
+      prep::Pipeline(prepOpts).run(net, Budget(opts_.timeLimitSeconds));
   const mc::Network& problem = prepared.problem(net);
 
   PrepSummary summary;

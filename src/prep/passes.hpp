@@ -14,6 +14,10 @@
 #include "prep/trace_lift.hpp"
 #include "util/stats.hpp"
 
+namespace cbq::util {
+class ThreadPool;
+}
+
 namespace cbq::prep {
 
 /// Outcome of one pass. When `changed` is false the pass was an identity:
@@ -30,7 +34,15 @@ struct PassResult {
 /// `bad`; closure: supports of the kept next-state functions) and only the
 /// inputs feeding a kept cone. Everything else never influences the
 /// violation condition at any step and is dropped.
-PassResult coiReduction(const mc::Network& net, util::Stats* stats = nullptr);
+///
+/// `pool` (here and in every pass below; non-owning, null = serial)
+/// parallelizes the read-only analysis phases — per-latch support
+/// traversals here, candidate scanning in constLatchSweep, cone
+/// simulation in latchCorrespondence, the sweeper's signature layer in
+/// structuralSimplify. Every pass produces bit-identical networks,
+/// transforms, and stats at any thread count.
+PassResult coiReduction(const mc::Network& net, util::Stats* stats = nullptr,
+                        util::ThreadPool* pool = nullptr);
 
 /// Constant/stuck-at latch sweep: a latch whose next-state function is the
 /// constant equal to its reset value, or whose next-state is its own
@@ -39,7 +51,8 @@ PassResult coiReduction(const mc::Network& net, util::Stats* stats = nullptr);
 /// cone; substitution can expose further constant latches, so the sweep
 /// iterates to closure.
 PassResult constLatchSweep(const mc::Network& net,
-                           util::Stats* stats = nullptr);
+                           util::Stats* stats = nullptr,
+                           util::ThreadPool* pool = nullptr);
 
 /// Structural simplification: runs the sweeper (BDD + SAT equivalence
 /// merging) over {next functions, bad} and compacts into a fresh manager,
@@ -58,7 +71,8 @@ PassResult structuralSimplify(const mc::Network& net,
                               std::size_t maxAnds = 100000,
                               double minShrink = 0.05,
                               std::function<bool()> interrupt = {},
-                              util::Stats* stats = nullptr);
+                              util::Stats* stats = nullptr,
+                              util::ThreadPool* pool = nullptr);
 
 /// Latch correspondence: greatest-fixpoint partition refinement. Latches
 /// start classed by reset value; each round substitutes every latch by its
@@ -70,14 +84,26 @@ PassResult structuralSimplify(const mc::Network& net,
 ///
 /// Refinement can take up to numLatches rounds and each round composes
 /// every next-state cone into the same growing manager (the van Eijk
-/// worst case is quadratic), so the pass is gated: skipped above
-/// `maxAnds` (0 = no bound), abandoned — soundly, as a no-op — when the
+/// worst case is quadratic), so the pass is gated: skipped when the
+/// next-state cones (the part the compose rounds rewrite) exceed
+/// `maxAnds` ANDs (0 = no bound), abandoned — soundly, as a no-op — when the
 /// working manager outgrows `growthLimit` × the starting node count or
 /// when `interrupt` fires between rounds.
+/// A word-parallel simulation prefilter runs before the compose loop:
+/// each latch variable is driven by its CURRENT class representative's
+/// random word, the next-state cones are simulated (stratum-parallel
+/// under `pool`), and classes whose members' next-state words differ are
+/// split. Simulation under a class-consistent assignment can never
+/// distinguish latches the structural fixpoint keeps together (equal
+/// composed literals evaluate equally), so the prefilter only
+/// anticipates splits the compose loop would make anyway — the final
+/// partition is unchanged, but many refinement rounds collapse into
+/// cheap simulation rounds instead of manager-growing compose rounds.
 PassResult latchCorrespondence(const mc::Network& net,
                                std::size_t maxAnds = 100000,
                                std::size_t growthLimit = 8,
                                std::function<bool()> interrupt = {},
-                               util::Stats* stats = nullptr);
+                               util::Stats* stats = nullptr,
+                               util::ThreadPool* pool = nullptr);
 
 }  // namespace cbq::prep

@@ -71,21 +71,25 @@ PreparedProblem Pipeline::run(const mc::Network& net,
   // terminating round re-running the full sweeper just to discard it).
   const PassSpec specs[] = {
       {"coi", opts_.coi,
-       [&](const mc::Network& n) { return coiReduction(n, &out.stats); }},
+       [&](const mc::Network& n) {
+         return coiReduction(n, &out.stats, opts_.pool);
+       }},
       {"const", opts_.constLatch,
-       [&](const mc::Network& n) { return constLatchSweep(n, &out.stats); }},
+       [&](const mc::Network& n) {
+         return constLatchSweep(n, &out.stats, opts_.pool);
+       }},
       {"sweep", opts_.structural,
        [&](const mc::Network& n) {
          return structuralSimplify(n, opts_.sweepSatBudget,
                                    opts_.structuralMaxAnds,
                                    opts_.structuralMinShrink, interrupt,
-                                   &out.stats);
+                                   &out.stats, opts_.pool);
        }},
       {"latchcorr", opts_.latchCorr,
        [&](const mc::Network& n) {
          return latchCorrespondence(n, opts_.latchCorrMaxAnds,
                                     opts_.latchCorrGrowth, interrupt,
-                                    &out.stats);
+                                    &out.stats, opts_.pool);
        }},
   };
   bool dirty[4] = {true, true, true, true};

@@ -10,6 +10,16 @@
 // resimulating the whole history (the old appendWord was O(words) per
 // refinement round, O(words²) over a run).
 //
+// Simulation is organized by topological STRATA: the cone order is
+// stable-sorted by AIG level, so all nodes of one level form a contiguous
+// range whose fanins live strictly in earlier ranges (or in the PI row).
+// Within a stratum every node writes only its own slot, which makes each
+// stratum an embarrassingly parallel loop — resimulateAll() runs the
+// node-major inner word loop (a straight-line `(a^ma) & (b^mb)` over a
+// contiguous row, auto-vectorizable) across an optional ThreadPool, and
+// the result is bit-identical at any thread count because the partition
+// only splits disjoint slot writes.
+//
 // Class keys are 64-bit mixed hashes of the complement-normalized words
 // (splitmix-style finalization per word), with exact word comparison as
 // the collision referee, replacing the former per-node std::string keys.
@@ -20,6 +30,10 @@
 
 #include "aig/aig.hpp"
 #include "util/random.hpp"
+
+namespace cbq::util {
+class ThreadPool;
+}
 
 namespace cbq::sweep {
 
@@ -41,10 +55,13 @@ class Signatures {
   /// `order` is the cone's AND nodes in topological order (fanins first),
   /// `support` the sorted external variables of its PIs. `initialWords`
   /// random columns are generated immediately; the arena reserves room for
-  /// `maxWords` columns so refinement appends never reallocate.
+  /// `maxWords` columns so refinement appends never reallocate. `pool`
+  /// (optional, non-owning) parallelizes simulation across level strata;
+  /// null means serial, and any pool yields bit-identical words.
   Signatures(const aig::Aig& aig, std::span<const aig::NodeId> order,
              std::span<const aig::VarId> support, util::Random& rng,
-             int initialWords, int maxWords);
+             int initialWords, int maxWords,
+             util::ThreadPool* pool = nullptr);
 
   [[nodiscard]] std::size_t words() const { return words_; }
   [[nodiscard]] std::size_t stride() const { return stride_; }
@@ -52,14 +69,23 @@ class Signatures {
   /// Appends one simulation word per PI — bit j of `cexBits[i]` (parallel
   /// to the support array) is the j-th stored counterexample value, the
   /// remaining bits random noise — and simulates ONLY the new column.
-  /// Silently refuses when the arena is full (words() == maxWords).
-  void appendWord(std::span<const std::uint64_t> cexBits, int cexCount,
-                  util::Random& rng);
+  /// Returns false (and changes nothing, not even the RNG stream) when the
+  /// arena is full (words() == stride()), so refinement loops can tell a
+  /// real append from a no-op and surface an arena-full stat.
+  [[nodiscard]] bool appendWord(std::span<const std::uint64_t> cexBits,
+                                int cexCount, util::Random& rng);
 
   /// Recomputes every active column of every node from the stored PI
-  /// words. The result must be bit-for-bit identical to the incrementally
-  /// maintained state; tests use this as the referee for appendWord.
+  /// words, node-major (per node, one contiguous SIMD-friendly word loop)
+  /// and stratum-parallel when a pool is attached. The result must be
+  /// bit-for-bit identical to the incrementally maintained state AND to
+  /// resimulateAllReference(); tests use both as referees.
   void resimulateAll();
+
+  /// The pre-parallel column-major serial recomputation, kept verbatim as
+  /// the bit-exact referee for resimulateAll() (tests/test_parallel.cpp)
+  /// and as the micro-benchmark baseline (bench/micro_aig.cpp).
+  void resimulateAllReference();
 
   /// Active signature words of node `n` (must be in the cone).
   [[nodiscard]] std::span<const std::uint64_t> of(aig::NodeId n) const {
@@ -88,11 +114,19 @@ class Signatures {
 
  private:
   void simulateColumn(std::size_t w);
+  void loadPiColumn(std::size_t w);
 
   const aig::Aig* aig_;
+  util::ThreadPool* pool_;  // non-owning; null = serial
   std::vector<aig::NodeId> order_;
   std::vector<aig::VarId> support_;
   std::vector<aig::NodeId> supportNode_;  // PI node per support entry
+
+  /// order_ stable-sorted by AIG level; strata_[k] = [begin, end) range of
+  /// levelOrder_ holding all cone nodes of the k-th occupied level. Fanins
+  /// of a stratum node are PIs or live in strictly earlier strata.
+  std::vector<aig::NodeId> levelOrder_;
+  std::vector<std::pair<std::size_t, std::size_t>> strata_;
 
   std::size_t stride_;  // reserved columns per slot
   std::size_t words_;   // active columns

@@ -35,6 +35,10 @@
 
 #include "aig/aig.hpp"
 
+namespace cbq::util {
+class ThreadPool;
+}
+
 namespace cbq::sweep {
 
 class SweepContext;
@@ -42,6 +46,9 @@ class SweepContext;
 struct SweepOptions {
   int numWords = 2;               ///< initial random simulation words/node
   int maxRounds = 16;             ///< refinement round limit
+  int maxWords = 0;               ///< arena column cap (0 = auto:
+                                  ///  numWords + maxRounds, so cex appends
+                                  ///  never hit the cap)
   std::int64_t satBudget = 2000;  ///< conflicts per SAT equivalence query
   std::size_t bddNodeLimit = 2000;///< shared BDD manager limit (0 = off)
   bool useBdd = true;             ///< enable layer 2
@@ -60,6 +67,12 @@ struct SweepOptions {
   /// the pre-session behaviour. The context must be bound (or bindable)
   /// to the same manager the sweep runs in; sweep() calls bind() itself.
   SweepContext* context = nullptr;
+
+  /// Intra-sweep parallelism (non-owning; null = serial): signature
+  /// simulation runs stratum-parallel and class refinement shards across
+  /// the pool's lanes. Results — classes, merges, rebuilt roots — are
+  /// bit-identical at any thread count (tests/test_parallel.cpp).
+  util::ThreadPool* pool = nullptr;
 };
 
 struct SweepStats {
@@ -75,6 +88,7 @@ struct SweepStats {
   std::size_t skippedUnreferenced = 0;  ///< backward-mode pruned checks
   std::size_t cacheHitsProven = 0;   ///< merges taken from the pair cache
   std::size_t cacheHitsRefuted = 0;  ///< SAT checks skipped as known-refuted
+  std::size_t arenaFull = 0;  ///< cex appends refused: arena at maxWords
 };
 
 struct SweepResult {

@@ -1,0 +1,111 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace cbq::util {
+
+ThreadPool::ThreadPool(int threads) {
+  const int workers = std::max(0, threads - 1);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w)
+    workers_.emplace_back([this, w] { workerLoop(w + 1); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::runChunks(Job& job, int lane) {
+  for (;;) {
+    const std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.numChunks) return;
+    const std::size_t begin = c * job.chunk;
+    const std::size_t end = std::min(begin + job.chunk, job.n);
+    try {
+      (*job.body)(begin, end, lane);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!job.error) job.error = std::current_exception();
+    }
+    // The last finished chunk releases the caller's join barrier.
+    if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job.numChunks) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      joined_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::workerLoop(int lane) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || jobSeq_ != seen; });
+      if (stop_) return;
+      seen = jobSeq_;
+      job = job_;  // nullptr for a late waker: the job already retired
+      if (job != nullptr) ++job->active;
+    }
+    if (job == nullptr) continue;
+    runChunks(*job, lane);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --job->active;  // the join barrier also waits for this to hit zero
+    }
+    joined_.notify_all();
+  }
+}
+
+void ThreadPool::parallelFor(std::size_t n, std::size_t grain,
+                             const Body& body) {
+  if (n == 0) return;
+  const std::size_t g = std::max<std::size_t>(grain, 1);
+  // Serial fast path: too little work to amortize a wakeup, a serial
+  // pool, or a region already running (the global thread budget is
+  // spent) — run inline, lane 0, zero synchronization.
+  if (workers_.empty() || n < 2 * g ||
+      busy_.exchange(true, std::memory_order_acquire)) {
+    body(0, n, 0);
+    return;
+  }
+
+  Job job;
+  job.body = &body;
+  job.n = n;
+  // Oversplit ~4x relative to the lane count so dynamic claiming load-
+  // balances uneven chunks, but never below the grain.
+  const std::size_t lanes = static_cast<std::size_t>(threads());
+  job.chunk = std::max(g, (n + 4 * lanes - 1) / (4 * lanes));
+  job.numChunks = (n + job.chunk - 1) / job.chunk;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    ++jobSeq_;
+  }
+  wake_.notify_all();
+  runChunks(job, 0);  // the caller is lane 0
+
+  {
+    // The barrier needs every chunk processed AND every worker out of
+    // runChunks — `job` lives on this stack frame, so a straggler still
+    // probing for a chunk must not outlive the wait.
+    std::unique_lock<std::mutex> lock(mutex_);
+    job_ = nullptr;  // late wakers see no job instead of a dead one
+    joined_.wait(lock, [&] {
+      return job.done.load(std::memory_order_acquire) == job.numChunks &&
+             job.active == 0;
+    });
+  }
+  busy_.store(false, std::memory_order_release);
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace cbq::util

@@ -171,7 +171,7 @@ TEST(Suite, InstancesAreFreshlyGeneratedEachCall) {
   auto a = circuits::standardSuite();
   auto b = circuits::standardSuite();
   ASSERT_EQ(a.size(), b.size());
-  EXPECT_EQ(a.size(), 34u);
+  EXPECT_EQ(a.size(), 36u);
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].net.name, b[i].net.name);
     EXPECT_EQ(a[i].expected, b[i].expected);

@@ -196,7 +196,7 @@ TEST(Signatures, IncrementalAppendEqualsFullResimulation) {
     for (int round = 0; round < 4; ++round) {
       std::vector<std::uint64_t> cexBits(support.size());
       for (auto& w : cexBits) w = rng.next64() & 0xff;
-      sigs.appendWord(cexBits, 8, rng);
+      ASSERT_TRUE(sigs.appendWord(cexBits, 8, rng));
     }
 
     // Snapshot the incrementally built signatures, then recompute every
@@ -225,9 +225,9 @@ TEST(Signatures, AppendStopsAtCapacity) {
   sweep::Signatures sigs(g, order, support, rng, 1, 2);
   EXPECT_EQ(sigs.words(), 1u);
   std::vector<std::uint64_t> cex(support.size(), 1);
-  sigs.appendWord(cex, 1, rng);
+  EXPECT_TRUE(sigs.appendWord(cex, 1, rng));
   EXPECT_EQ(sigs.words(), 2u);
-  sigs.appendWord(cex, 1, rng);  // at capacity: silently refused
+  EXPECT_FALSE(sigs.appendWord(cex, 1, rng));  // at capacity: refused
   EXPECT_EQ(sigs.words(), 2u);
 }
 
