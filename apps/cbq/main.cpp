@@ -39,6 +39,9 @@
 #include "circuits/io.hpp"
 #include "circuits/suite.hpp"
 #include "mc/engines.hpp"
+#include "obs/memory.hpp"
+#include "obs/progress.hpp"
+#include "obs/tracer.hpp"
 #include "portfolio/report.hpp"
 #include "portfolio/runner.hpp"
 #include "portfolio/scheduler.hpp"
@@ -62,6 +65,7 @@ struct Args {
   bool unsafe = false;
   bool quiet = false;
   bool smoke = false;
+  bool progress = false;  // NDJSON progress events on stderr
   std::string engine;
   std::vector<std::string> engines;
   std::string schedule;  // race | slice (bench also: seq)
@@ -69,7 +73,37 @@ struct Args {
   std::string output;  // -o
   std::string jsonPath;
   std::string csvPath;
+  std::string tracePath;  // --trace: Chrome trace-event JSON
+  std::string command;    // the full invocation, for report run headers
 };
+
+/// RunInfo for report provenance headers, from the parsed invocation.
+cbq::portfolio::RunInfo makeRunInfo(const Args& args,
+                                    const std::string& schedule) {
+  auto info = cbq::portfolio::RunInfo::capture();
+  info.command = args.command;
+  info.jobs = args.jobs;
+  info.parThreads = args.parThreads;
+  info.schedule = schedule.empty() ? "race" : schedule;
+  return info;
+}
+
+/// Flushes the span buffers to `path` as Chrome trace-event JSON.
+bool writeTraceFile(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cbq: cannot write %s\n", path.c_str());
+    return false;
+  }
+  cbq::obs::writeChromeTrace(out);
+  const auto ts = cbq::obs::traceStats();
+  std::fprintf(stderr,
+               "trace: %zu spans from %zu threads -> %s (open in "
+               "chrome://tracing or ui.perfetto.dev)%s\n",
+               ts.events, ts.threads, path.c_str(),
+               ts.dropped > 0 ? " [ring buffer dropped events]" : "");
+  return true;
+}
 
 /// Parses --prep: "on"/"" (all passes, default), "off", or a comma list
 /// of pass names (coi,const,sweep,latchcorr) enabling only those.
@@ -206,6 +240,12 @@ bool parseArgs(int argc, char** argv, int first, Args& args) {
       const char* v = value("--csv");
       if (!v) return false;
       args.csvPath = v;
+    } else if (a == "--trace") {
+      const char* v = value("--trace");
+      if (!v) return false;
+      args.tracePath = v;
+    } else if (a == "--progress") {
+      args.progress = true;
     } else if (a == "--smoke") {
       args.smoke = true;
     } else if (a == "--unsafe") {
@@ -230,7 +270,7 @@ int usage() {
       "  cbq check <file> [--engine NAME | --engines A,B,C] [--timeout S]\n"
       "            [--node-limit N] [--schedule race|slice] [--workers N]\n"
       "            [--prep on|off|coi,const,sweep,latchcorr]\n"
-      "            [--par-threads N]\n"
+      "            [--par-threads N] [--trace FILE] [--progress]\n"
       "      run the portfolio on one circuit (.aag/.aig/.bench);\n"
       "      --schedule race (default) races engines on threads,\n"
       "      --schedule slice round-robins persistent engine sessions on\n"
@@ -240,12 +280,14 @@ int usage() {
       "      engine starts; counterexamples are lifted back and replayed\n"
       "      on the original circuit. --par-threads N parallelizes the\n"
       "      preprocessing + signature layer INSIDE one problem (results\n"
-      "      are bit-identical at any N).\n"
+      "      are bit-identical at any N). --trace FILE records a Chrome\n"
+      "      trace-event profile (chrome://tracing / Perfetto); --progress\n"
+      "      streams NDJSON progress events on stderr.\n"
       "      exit codes: 0 SAFE, 10 UNSAFE, 20 UNKNOWN, 1 usage/IO error\n"
       "  cbq batch <dir-or-files...> [--jobs N] [--engines A,B,C]\n"
       "            [--timeout S] [--node-limit N] [--schedule race|slice]\n"
       "            [--prep ...] [--par-threads N] [--json F] [--csv F]\n"
-      "            [--quiet]\n"
+      "            [--quiet] [--trace FILE] [--progress]\n"
       "      verify every circuit file with a worker pool; --timeout is\n"
       "      the per-problem budget\n"
       "  cbq gen <family> [--width N] [--unsafe] [-o file.aag]\n"
@@ -331,6 +373,15 @@ int cmdCheck(const Args& args) {
     opts.parThreads = args.parThreads;
   }
 
+  // --progress streams NDJSON events on stderr; the streamer must outlive
+  // the run because engine threads call into it at slice boundaries.
+  std::unique_ptr<cbq::obs::ProgressStreamer> streamer;
+  if (args.progress) {
+    streamer = std::make_unique<cbq::obs::ProgressStreamer>(std::cerr);
+    opts.onProgress = streamer->fn();
+  }
+  if (!args.tracePath.empty()) cbq::obs::enableTracing();
+
   cbq::portfolio::PortfolioResult res;
   try {
     const cbq::portfolio::PortfolioRunner runner(opts);
@@ -339,9 +390,28 @@ int cmdCheck(const Args& args) {
     std::fprintf(stderr, "cbq: %s\n", e.what());
     return 1;
   }
+  if (!args.tracePath.empty()) {
+    cbq::obs::disableTracing();
+    if (!writeTraceFile(args.tracePath)) return 1;
+  }
 
   printPrepSummary(res.prep);
   printEngineTable(res.runs);
+  {
+    auto peakOf = [&](const char* gauge) {
+      double peak = res.best.stats.gauge(gauge);
+      for (const auto& r : res.runs)
+        peak = std::max(peak, r.stats.gauge(gauge));
+      return static_cast<std::uint64_t>(std::max(0.0, peak));
+    };
+    std::printf("mem: peak RSS %.1f MB, aig peak %llu nodes, "
+                "bdd peak %llu nodes\n",
+                static_cast<double>(cbq::obs::peakRssBytes()) /
+                    (1024.0 * 1024.0),
+                static_cast<unsigned long long>(
+                    peakOf("mem.aig_peak_nodes")),
+                static_cast<unsigned long long>(peakOf("bdd.peak_nodes")));
+  }
   const auto* winner = res.winner();
   std::printf("verdict: %s (%s, %.3fs wall)\n",
               cbq::mc::toString(res.best.verdict),
@@ -409,6 +479,13 @@ int cmdBatch(const Args& args) {
     opts.portfolio.parThreads = args.parThreads;
   }
 
+  std::unique_ptr<cbq::obs::ProgressStreamer> streamer;
+  if (args.progress) {
+    streamer = std::make_unique<cbq::obs::ProgressStreamer>(std::cerr);
+    opts.portfolio.onProgress = streamer->fn();
+  }
+  if (!args.tracePath.empty()) cbq::obs::enableTracing();
+
   cbq::portfolio::BatchSummary summary;
   try {
     const cbq::portfolio::BatchScheduler scheduler(opts);
@@ -432,6 +509,10 @@ int cmdBatch(const Args& args) {
     std::fprintf(stderr, "cbq: %s\n", e.what());
     return 1;
   }
+  if (!args.tracePath.empty()) {
+    cbq::obs::disableTracing();
+    if (!writeTraceFile(args.tracePath)) return 1;
+  }
 
   std::printf(
       "\n%zu problems: %d safe, %d unsafe, %d unknown, %d errors "
@@ -439,6 +520,7 @@ int cmdBatch(const Args& args) {
       summary.problems.size(), summary.safe, summary.unsafe,
       summary.unknown, summary.errors, summary.wallSeconds);
 
+  const cbq::portfolio::RunInfo runInfo = makeRunInfo(args, args.schedule);
   auto writeReport = [](const std::string& path, const auto& writer,
                         const cbq::portfolio::BatchSummary& s) {
     std::ofstream out(path);
@@ -449,8 +531,12 @@ int cmdBatch(const Args& args) {
     writer(s, out);
     return true;
   };
+  const auto jsonWriter = [&](const cbq::portfolio::BatchSummary& s,
+                              std::ostream& out) {
+    cbq::portfolio::writeJson(s, out, &runInfo);
+  };
   if (!args.jsonPath.empty() &&
-      !writeReport(args.jsonPath, cbq::portfolio::writeJson, summary))
+      !writeReport(args.jsonPath, jsonWriter, summary))
     return 1;
   if (!args.csvPath.empty() &&
       !writeReport(args.csvPath, cbq::portfolio::writeCsv, summary))
@@ -676,6 +762,9 @@ int cmdBench(const Args& args) {
     return s;
   }();
   out << "{\n";
+  out << "  \"run\": ";
+  makeRunInfo(args, schedule).writeJson(out);
+  out << ",\n";
   out << "  \"engine\": \""
       << (schedule == "seq" ? engineName : "portfolio-" + schedule)
       << "\",\n";
@@ -839,6 +928,9 @@ int cmdBenchPar(const Args& args) {
     return 1;
   }
   out << "{\n";
+  out << "  \"run\": ";
+  makeRunInfo(args, "par").writeJson(out);
+  out << ",\n";
   out << "  \"host_threads\": " << hw << ",\n";
   out << "  \"par_threads\": " << threads << ",\n";
   out << "  \"sig_words\": " << kWords << ",\n";
@@ -872,6 +964,10 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   Args args;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0) args.command += ' ';
+    args.command += argv[i];
+  }
   if (!parseArgs(argc, argv, 2, args)) return 1;
 
   if (cmd == "engines") return cmdEngines();

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "cnf/aig_cnf.hpp"
+#include "obs/tracer.hpp"
 #include "sat/solver.hpp"
 
 namespace cbq::mc::detail {
@@ -23,7 +24,7 @@ using aig::VarId;
 Trace reconstructTrace(const Network& net, aig::Aig& archive,
                        const std::vector<Lit>& archNext, Lit archBad,
                        const std::vector<Lit>& frontiers, int d,
-                       util::Stats& stats) {
+                       obs::Metrics& stats) {
   std::vector<aig::VarSub> subst;
   subst.reserve(net.stateVars.size());
   for (std::size_t i = 0; i < net.stateVars.size(); ++i)
@@ -137,6 +138,8 @@ Progress BackwardReachSession::snapshot(Verdict v, bool done) {
       static_cast<std::uint64_t>(p.result.stats.count("sat.conflicts") +
                                  p.result.stats.count("sat.decisions") +
                                  p.result.stats.count("sat.propagations"));
+  p.result.stats.high("mem.aig_peak_nodes",
+                      static_cast<double>(mgr_.numNodes()));
   return p;
 }
 
@@ -159,6 +162,7 @@ void BackwardReachSession::maybeCompact() {
       static_cast<double>(mgr_.numNodes()) <=
           compaction_.garbageRatio * static_cast<double>(liveSize))
     return;
+  CBQ_OBS_SPAN("engine", "compact");
   // Re-strash every live cone into a fresh manager. The transfer map
   // lets the sweep session carry its proven/refuted pair cache across
   // the NodeId change; the fixpoint session just rebinds (it records no
@@ -193,6 +197,7 @@ Progress BackwardReachSession::run(const portfolio::Budget& bud) {
     if (bud.exhausted()) return snapshot(Verdict::Unknown, false);
     switch (phase_) {
       case Phase::Init: {
+        CBQ_OBS_SPAN("engine", "init");
         // Frontier 0: B = ∃i . bad(s, i).
         PreImageRequest req{&mgr_, badL_, net_, &res_.stats, &bud,
                             &session_};
@@ -225,6 +230,7 @@ Progress BackwardReachSession::run(const portfolio::Budget& bud) {
         break;
       }
       case Phase::Pre: {
+        CBQ_OBS_SPAN("engine", "pre-image");
         // Pre-image by substitution (§3 in-lining), then input
         // elimination. A pause retries from here: compose is strashed, so
         // the retry starts from identical inputs and stays deterministic.
@@ -240,6 +246,7 @@ Progress BackwardReachSession::run(const portfolio::Budget& bud) {
         break;
       }
       case Phase::Fix: {
+        CBQ_OBS_SPAN("engine", "fixpoint");
         // Fixpoint: every pre-image state already reached? Runs in its
         // own session (fixSession_) so the reached-set encoding accretes
         // incrementally across iterations without ever being propagated
@@ -264,6 +271,7 @@ Progress BackwardReachSession::run(const portfolio::Budget& bud) {
         break;
       }
       case Phase::Trace: {
+        CBQ_OBS_SPAN("engine", "trace");
         res_.cex = reconstructTrace(*net_, archive_, archNext_, archBad_,
                                     frontiersArch_, iter_, res_.stats);
         res_.stats.set("reach.iterations", iter_);

@@ -35,7 +35,7 @@ struct PreImageRequest {
   aig::Aig* mgr;                 ///< working manager
   aig::Lit formula;              ///< F(δ(s,i)) — inputs still present
   const Network* net;
-  util::Stats* stats;
+  obs::Metrics* stats;
   const portfolio::Budget* budget;  ///< effective slice budget (never null)
   sweep::SweepContext* session;     ///< run-wide sweep session (never null)
 };

@@ -13,6 +13,7 @@
 #include <algorithm>
 
 #include "bdd/bdd.hpp"
+#include "obs/tracer.hpp"
 #include "mc/engines.hpp"
 
 namespace cbq::mc {
@@ -122,6 +123,7 @@ class BddSessionBase : public Session {
   /// order: latches and inputs in network declaration order (generators
   /// interleave related variables).
   void buildModel() {
+    CBQ_OBS_SPAN("bdd", "build-model");
     const Network& net = *net_;
     if (mgr_ == nullptr) {
       mgr_ = std::make_unique<bdd::BddManager>(opts_.nodeLimit);
@@ -195,6 +197,7 @@ class BddBackwardSession final : public BddSessionBase {
           break;
         }
         case Phase::Pre: {
+          CBQ_OBS_SPAN("bdd", "pre-image");
           bdd::BddManager& bm = *mgr_;
           const BddRef pre =
               bm.exists(bm.compose(frontier_, subst_), net_->inputVars);
@@ -218,6 +221,7 @@ class BddBackwardSession final : public BddSessionBase {
           break;
         }
         case Phase::Trace: {
+          CBQ_OBS_SPAN("bdd", "trace");
           // Reconstruction first: a node-limit/interrupt abort mid-trace
           // must not leave a "definitive" Unsafe with no replayable
           // counterexample — both pause/abort paths re-enter here.
@@ -302,6 +306,7 @@ class BddForwardSession final : public BddSessionBase {
           break;
         }
         case Phase::Img: {
+          CBQ_OBS_SPAN("bdd", "image");
           bdd::BddManager& bm = *mgr_;
           const BddRef imgNs =
               bm.andExists(tr_, frontier_, presentAndInputs_);

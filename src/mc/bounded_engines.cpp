@@ -7,6 +7,7 @@
 
 #include "mc/engines.hpp"
 #include "mc/unroller.hpp"
+#include "obs/tracer.hpp"
 
 namespace cbq::mc {
 
@@ -54,6 +55,7 @@ class BmcSession final : public Session {
         return snapshot(Verdict::Unknown, true, opts_.maxDepth);
       if (bud.exhausted())
         return snapshot(Verdict::Unknown, false, k_);
+      CBQ_OBS_SPAN("engine", "bmc-bound");
       unroller_.ensureFrame(k_);
       const sat::Lit assumptions[] = {unroller_.badLit(k_)};
       res_.stats.add("bmc.solves");
@@ -127,6 +129,7 @@ class KInductionSession final : public Session {
 
       if (!baseDone_) {
         // --- base: a counterexample of length k? ---------------------
+        CBQ_OBS_SPAN("engine", "ind-base");
         base_.ensureFrame(k_);
         const sat::Lit baseAssumptions[] = {base_.badLit(k_)};
         res_.stats.add("ind.base_solves");
@@ -163,6 +166,7 @@ class KInductionSession final : public Session {
         }
         stepK_ = k_;
       }
+      CBQ_OBS_SPAN("engine", "ind-step");
       const sat::Lit stepAssumptions[] = {step_->badLit(k_)};
       res_.stats.add("ind.step_solves");
       const sat::Status stepSt = stepSolver_->solve(stepAssumptions);

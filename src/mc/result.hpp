@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "aig/aig.hpp"
-#include "util/stats.hpp"
+#include "obs/metrics.hpp"
 
 namespace cbq::mc {
 
@@ -52,7 +52,7 @@ struct CheckResult {
   std::optional<Trace> cex;     ///< present for Unsafe when reconstructed
   double seconds = 0.0;
   std::string engine;
-  util::Stats stats;
+  obs::Metrics stats;
 };
 
 /// One Session::resume()'s report: the cumulative (possibly still-Unknown)

@@ -43,7 +43,7 @@ struct EliminateCarry {
 /// ¬union clause and enumerates only the uncovered remainder.
 std::optional<Lit> allSatEliminate(aig::Aig& mgr, Lit f,
                                    std::span<const VarId> vars,
-                                   int maxEnum, util::Stats& stats,
+                                   int maxEnum, obs::Metrics& stats,
                                    const portfolio::Budget& budget,
                                    EliminateCarry& carry) {
   // Restrict to variables actually present.

@@ -1,0 +1,43 @@
+#include "obs/memory.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace cbq::obs {
+
+std::uint64_t peakRssBytes() {
+#if defined(__linux__)
+  // VmHWM is the resident high-water mark in kB.
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof(line), f)) {
+      if (std::strncmp(line, "VmHWM:", 6) == 0) {
+        unsigned long long kb = 0;
+        if (std::sscanf(line + 6, "%llu", &kb) == 1) {
+          std::fclose(f);
+          return static_cast<std::uint64_t>(kb) * 1024;
+        }
+        break;
+      }
+    }
+    std::fclose(f);
+  }
+#endif
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // kB elsewhere
+#endif
+  }
+#endif
+  return 0;
+}
+
+}  // namespace cbq::obs

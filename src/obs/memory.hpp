@@ -1,0 +1,14 @@
+#pragma once
+// Process memory introspection for the mem gauges in check summaries and
+// batch reports.
+
+#include <cstdint>
+
+namespace cbq::obs {
+
+/// Peak resident set size of this process in bytes (high-water mark, not
+/// current usage). Reads /proc/self/status VmHWM on Linux with a
+/// getrusage fallback; returns 0 where neither exists.
+[[nodiscard]] std::uint64_t peakRssBytes();
+
+}  // namespace cbq::obs

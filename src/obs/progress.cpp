@@ -1,0 +1,69 @@
+#include "obs/progress.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace cbq::obs {
+
+namespace {
+
+void appendEscaped(std::ostream& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out << buf;
+    } else {
+      out << c;
+    }
+  }
+}
+
+void field(std::ostream& out, const char* key, const std::string& value,
+           bool& first) {
+  if (value.empty()) return;
+  out << (first ? "" : ", ") << '"' << key << "\": \"";
+  appendEscaped(out, value);
+  out << '"';
+  first = false;
+}
+
+double finite(double v) { return std::isfinite(v) ? v : 0.0; }
+
+}  // namespace
+
+void ProgressStreamer::emit(const ProgressEvent& ev) {
+  // Build the line outside the lock; write + flush inside.
+  std::ostringstream line;
+  bool first = true;
+  field(line, "kind", ev.kind, first);
+  field(line, "problem", ev.problem, first);
+  field(line, "engine", ev.engine, first);
+  field(line, "verdict", ev.verdict, first);
+  field(line, "detail", ev.detail, first);
+  if (ev.bound >= 0) {
+    line << (first ? "" : ", ") << "\"bound\": " << ev.bound;
+    first = false;
+  }
+  if (ev.effort > 0.0) {
+    line << (first ? "" : ", ") << "\"effort\": " << finite(ev.effort);
+    first = false;
+  }
+  if (ev.effortDelta > 0.0) {
+    line << (first ? "" : ", ")
+         << "\"effort_delta\": " << finite(ev.effortDelta);
+    first = false;
+  }
+  line << (first ? "" : ", ") << "\"seconds\": " << finite(ev.seconds);
+  first = false;
+  if (ev.kind == "slice")
+    line << ", \"advanced\": " << (ev.advanced ? "true" : "false");
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  out_ << '{' << line.str() << "}\n" << std::flush;
+}
+
+}  // namespace cbq::obs

@@ -1,0 +1,13 @@
+#include "obs/version.hpp"
+
+// CBQ_GIT_DESCRIBE is injected by CMake onto this one translation unit so
+// a new commit only rebuilds this file, not the whole library.
+#ifndef CBQ_GIT_DESCRIBE
+#define CBQ_GIT_DESCRIBE "unknown"
+#endif
+
+namespace cbq::obs {
+
+const char* gitDescribe() { return CBQ_GIT_DESCRIBE; }
+
+}  // namespace cbq::obs

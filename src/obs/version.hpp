@@ -1,0 +1,11 @@
+#pragma once
+// Build identity for self-describing reports (batch JSON `run` header,
+// BENCH_*.json).
+
+namespace cbq::obs {
+
+/// `git describe --always --dirty` captured at configure time, or
+/// "unknown" when the build tree had no git metadata.
+const char* gitDescribe();
+
+}  // namespace cbq::obs

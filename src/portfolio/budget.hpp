@@ -41,6 +41,8 @@ class CancelToken {
 class Budget {
  public:
   using Clock = std::chrono::steady_clock;
+  static_assert(Clock::is_steady,
+                "deadlines must come from a monotonic clock");
 
   /// Unlimited: never expires, never cancelled, no node bound.
   Budget() = default;

@@ -2,8 +2,12 @@
 
 #include <cmath>
 #include <cstdio>
+#include <ctime>
 #include <ostream>
 #include <sstream>
+#include <thread>
+
+#include "obs/version.hpp"
 
 namespace cbq::portfolio {
 
@@ -62,10 +66,53 @@ std::string csvField(const std::string& s) {
   return out;
 }
 
+/// Peak RSS in MB with enough precision for small processes.
+std::string rssMb(std::uint64_t bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f",
+                static_cast<double>(bytes) / (1024.0 * 1024.0));
+  return buf;
+}
+
 }  // namespace
 
-void writeJson(const BatchSummary& summary, std::ostream& out) {
+RunInfo RunInfo::capture() {
+  RunInfo info;
+  info.gitDescribe = obs::gitDescribe();
+  info.hostThreads = std::thread::hardware_concurrency();
+  // Wall timestamp (ISO-8601 UTC): identifies the run in committed
+  // reports. The only sanctioned system-clock read outside durations.
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &now);
+#else
+  gmtime_r(&now, &tm);
+#endif
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  info.timestamp = buf;
+  return info;
+}
+
+void RunInfo::writeJson(std::ostream& out) const {
+  out << "{\"command\": \"" << jsonEscape(command) << "\", "
+      << "\"git\": \"" << jsonEscape(gitDescribe) << "\", "
+      << "\"timestamp\": \"" << jsonEscape(timestamp) << "\", "
+      << "\"jobs\": " << jobs << ", "
+      << "\"par_threads\": " << parThreads << ", "
+      << "\"host_threads\": " << hostThreads << ", "
+      << "\"schedule\": \"" << jsonEscape(schedule) << "\"}";
+}
+
+void writeJson(const BatchSummary& summary, std::ostream& out,
+               const RunInfo* run) {
   out << "{\n";
+  if (run != nullptr) {
+    out << "  \"run\": ";
+    run->writeJson(out);
+    out << ",\n";
+  }
   out << "  \"total\": " << summary.problems.size() << ",\n";
   out << "  \"safe\": " << summary.safe << ",\n";
   out << "  \"unsafe\": " << summary.unsafe << ",\n";
@@ -105,6 +152,9 @@ void writeJson(const BatchSummary& summary, std::ostream& out) {
           << "], \"seconds\": " << jsonNumber(ps.seconds) << "}";
     }
     out << "]}, ";
+    out << "\"mem\": {\"peak_rss_mb\": " << rssMb(p.peakRssBytes)
+        << ", \"aig_peak_nodes\": " << p.aigPeakNodes
+        << ", \"bdd_peak_nodes\": " << p.bddPeakNodes << "}, ";
     out << "\"engines\": [";
     for (std::size_t j = 0; j < p.runs.size(); ++j) {
       const EngineRun& r = p.runs[j];
@@ -141,7 +191,8 @@ void writeCsv(const BatchSummary& summary, std::ostream& out) {
          "prep_seconds,prep_latches,prep_inputs,prep_ands,"
          "prep_coi_seconds,prep_const_seconds,prep_sweep_seconds,"
          "prep_latchcorr_seconds,"
-         "propagations,decisions,conflicts,error\n";
+         "propagations,decisions,conflicts,"
+         "peak_rss_mb,aig_peak_nodes,bdd_peak_nodes,error\n";
   for (const BatchProblemResult& p : summary.problems) {
     // Effort columns aggregate over every engine that ran on the problem.
     std::int64_t props = 0, decs = 0, confs = 0;
@@ -168,7 +219,8 @@ void writeCsv(const BatchSummary& summary, std::ostream& out) {
         << jsonNumber(coiSec) << ',' << jsonNumber(constSec) << ','
         << jsonNumber(sweepSec) << ',' << jsonNumber(corrSec) << ','
         << props << ',' << decs << ',' << confs << ','
-        << csvField(p.error) << '\n';
+        << rssMb(p.peakRssBytes) << ',' << p.aigPeakNodes << ','
+        << p.bddPeakNodes << ',' << csvField(p.error) << '\n';
   }
 }
 

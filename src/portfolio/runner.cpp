@@ -2,10 +2,12 @@
 
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
+#include "obs/tracer.hpp"
 #include "portfolio/time_slice.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -44,6 +46,19 @@ PortfolioResult PortfolioRunner::run(const mc::Network& net) const {
       prep::Pipeline(prepOpts).run(net, Budget(opts_.timeLimitSeconds));
   const mc::Network& problem = prepared.problem(net);
 
+  if (opts_.onProgress) {
+    obs::ProgressEvent ev;
+    ev.kind = "prep";
+    ev.problem = net.name;
+    ev.seconds = prepared.seconds;
+    std::ostringstream detail;
+    detail << prepared.latchesBefore << "L/" << prepared.andsBefore << "A -> "
+           << problem.numLatches() << "L/" << problem.aig.numAnds() << "A";
+    if (prepared.decided.has_value()) detail << " (decided)";
+    ev.detail = detail.str();
+    opts_.onProgress(ev);
+  }
+
   PrepSummary summary;
   summary.enabled = opts_.prep.enabled;
   summary.decided = prepared.decided.has_value();
@@ -70,6 +85,7 @@ PortfolioResult PortfolioRunner::run(const mc::Network& net) const {
       prep::demoteUnreplayableCex(net, out.best, /*requireTrace=*/true);
     out.wallSeconds = wall.seconds();
     out.best.seconds = out.wallSeconds;
+    emitResult(net.name, out);
     return out;
   }
 
@@ -97,7 +113,21 @@ PortfolioResult PortfolioRunner::run(const mc::Network& net) const {
 
   out.wallSeconds = wall.seconds();
   out.best.seconds = out.wallSeconds;
+  emitResult(net.name, out);
   return out;
+}
+
+void PortfolioRunner::emitResult(const std::string& problemName,
+                                 const PortfolioResult& res) const {
+  if (!opts_.onProgress) return;
+  obs::ProgressEvent ev;
+  ev.kind = "result";
+  ev.problem = problemName;
+  ev.engine = res.best.engine;
+  ev.verdict = mc::toString(res.best.verdict);
+  ev.seconds = res.wallSeconds;
+  ev.bound = res.best.steps;
+  opts_.onProgress(ev);
 }
 
 PortfolioResult PortfolioRunner::runRace(const mc::Network& net,
@@ -123,9 +153,11 @@ PortfolioResult PortfolioRunner::runRace(const mc::Network& net,
   std::vector<char> wasCancelled(n, 0);
 
   auto worker = [&](std::size_t i) {
+    obs::setThreadLabel("race " + opts.engines[i]);
     auto engine = mc::makeEngine(opts.engines[i]);
     mc::CheckResult res;
     try {
+      CBQ_OBS_SPAN("sched", opts.engines[i]);
       res = engine->check(clones[i], budget);
     } catch (const std::exception&) {
       // An engine blowing up (e.g. BDD allocation) must not kill the race.
@@ -142,6 +174,17 @@ PortfolioResult PortfolioRunner::runRace(const mc::Network& net,
       res.verdict = mc::Verdict::Unknown;
       res.stats.add("portfolio.cex_replay_failures");
       definitive = false;
+    }
+
+    if (opts.onProgress) {
+      obs::ProgressEvent ev;
+      ev.kind = "engine";
+      ev.problem = net.name;
+      ev.engine = opts.engines[i];
+      ev.verdict = mc::toString(res.verdict);
+      ev.seconds = res.seconds;
+      ev.bound = res.steps;
+      opts.onProgress(ev);
     }
 
     // Sampled before claiming the win: distinguishes "stopped because a

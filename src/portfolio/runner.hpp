@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "mc/engines.hpp"
+#include "obs/progress.hpp"
 #include "portfolio/budget.hpp"
 #include "prep/pipeline.hpp"
 
@@ -50,6 +51,11 @@ struct PortfolioOptions {
   /// at any value (tests/test_parallel.cpp).
   int parThreads = 1;
 
+  /// Live telemetry sink (obs/progress.hpp): called at natural boundaries
+  /// — prep done, slice finished, racing engine resolved, final verdict.
+  /// May be invoked concurrently from several workers; null disables.
+  obs::ProgressFn onProgress;
+
   ScheduleMode schedule = ScheduleMode::Race;
   // --- Slice mode only ---------------------------------------------------
   int sliceWorkers = 1;  ///< worker threads resuming sessions (<=0: one)
@@ -67,7 +73,7 @@ struct EngineRun {
   bool winner = false;
   bool cancelled = false;  ///< lost the race (token fired before it finished)
   int slices = 0;          ///< resume() slices granted (slice mode; race: 1)
-  util::Stats stats;
+  obs::Metrics stats;
 };
 
 /// What preprocessing did to one problem, for reports. `decided` marks
@@ -124,6 +130,10 @@ class PortfolioRunner {
   /// whole-problem time limit already reduced by preprocessing time.
   [[nodiscard]] PortfolioResult runRace(const mc::Network& net,
                                         const PortfolioOptions& opts) const;
+
+  /// Emits the final "result" progress event (no-op without a sink).
+  void emitResult(const std::string& problemName,
+                  const PortfolioResult& res) const;
 
   PortfolioOptions opts_;
 };

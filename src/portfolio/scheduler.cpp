@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "circuits/io.hpp"
+#include "obs/memory.hpp"
 #include "util/timer.hpp"
 
 namespace cbq::portfolio {
@@ -102,6 +103,15 @@ BatchSummary BatchScheduler::run(
       }
       r.prep = std::move(pr.prep);
       r.runs = std::move(pr.runs);
+      r.peakRssBytes = obs::peakRssBytes();
+      auto peakOf = [&](const char* name) {
+        double peak = pr.best.stats.gauge(name);
+        for (const EngineRun& er : r.runs)
+          peak = std::max(peak, er.stats.gauge(name));
+        return static_cast<std::uint64_t>(std::max(0.0, peak));
+      };
+      r.aigPeakNodes = peakOf("mem.aig_peak_nodes");
+      r.bddPeakNodes = peakOf("bdd.peak_nodes");
     } catch (const std::exception& e) {
       r.error = e.what();
       r.verdict = mc::Verdict::Unknown;

@@ -44,6 +44,13 @@ struct BatchProblemResult {
   std::string error;  ///< parse/load failure; verdict stays Unknown
   PrepSummary prep;   ///< what preprocessing removed (runner.hpp)
   std::vector<EngineRun> runs;
+
+  // Memory high-water marks, sampled when the problem finished. Peak RSS
+  // is process-wide (monotone across the batch); the node peaks are this
+  // problem's own, maxed over its engine runs.
+  std::uint64_t peakRssBytes = 0;
+  std::uint64_t aigPeakNodes = 0;
+  std::uint64_t bddPeakNodes = 0;
 };
 
 struct BatchSummary {

@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/tracer.hpp"
 #include "util/timer.hpp"
 
 namespace cbq::portfolio {
@@ -74,6 +75,10 @@ PortfolioResult TimeSliceScheduler::run(const mc::Network& net) const {
   bool stop = false;    // definitive winner found: stop granting slices
   int inFlight = 0;     // sessions currently resuming on a worker
 
+  // Scheduler decisions feed the winner's registry at the end (the slots
+  // own per-engine registries; these are cross-engine).
+  obs::Metrics schedStats;
+
   auto worker = [&] {
     std::unique_lock<std::mutex> lock(mu);
     for (;;) {
@@ -89,6 +94,7 @@ PortfolioResult TimeSliceScheduler::run(const mc::Network& net) const {
       mc::Progress p;
       bool threw = false;
       try {
+        CBQ_OBS_SPAN("sched", opts_.engines[i]);
         if (!slot.session)
           slot.session = slot.engine->start(clones[i]);
         // The slice: the whole-problem budget (token + deadline + node
@@ -97,6 +103,19 @@ PortfolioResult TimeSliceScheduler::run(const mc::Network& net) const {
       } catch (const std::exception&) {
         // An engine blowing up must not kill the schedule.
         threw = true;
+      }
+      if (!threw && opts_.onProgress) {
+        obs::ProgressEvent ev;
+        ev.kind = "slice";
+        ev.problem = net.name;
+        ev.engine = opts_.engines[i];
+        if (p.done) ev.verdict = mc::toString(p.result.verdict);
+        ev.bound = p.bound;
+        ev.effort = static_cast<double>(p.effort);
+        ev.effortDelta = static_cast<double>(p.effortDelta);
+        ev.seconds = p.sliceSeconds;
+        ev.advanced = p.advanced;
+        opts_.onProgress(ev);
       }
 
       // Referee outside the lock: a deep counterexample replay must not
@@ -110,6 +129,8 @@ PortfolioResult TimeSliceScheduler::run(const mc::Network& net) const {
       lock.lock();
       --inFlight;
       ++slot.slices;
+      schedStats.add("sched.slice_grants");
+      if (!threw) schedStats.observe("sched.slice_seconds", p.sliceSeconds);
       if (threw) {
         slot.finished = true;
         slot.threw = true;
@@ -140,9 +161,11 @@ PortfolioResult TimeSliceScheduler::run(const mc::Network& net) const {
           if (!slot.last.advanced) {
             slot.sliceSeconds = std::min(slot.sliceSeconds * 2.0,
                                          opts_.sliceMaxSeconds);
+            schedStats.add("sched.promotions");
           } else if (boundDelta >= 8) {
             slot.sliceSeconds = std::max(slot.sliceSeconds * 0.5,
                                          opts_.sliceMinSeconds);
+            schedStats.add("sched.demotions");
           }
           if (!stop && !outer.exhausted()) ready.push_back(i);
         }
@@ -156,7 +179,11 @@ PortfolioResult TimeSliceScheduler::run(const mc::Network& net) const {
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nWorkers));
   try {
-    for (int t = 0; t < nWorkers; ++t) threads.emplace_back(worker);
+    for (int t = 0; t < nWorkers; ++t)
+      threads.emplace_back([&worker, t] {
+        obs::setThreadLabel("slice worker " + std::to_string(t));
+        worker();
+      });
   } catch (const std::system_error&) {
     // Thread exhaustion mid-spawn: the workers already running finish the
     // queue (slice mode never needs more than one).
@@ -175,6 +202,7 @@ PortfolioResult TimeSliceScheduler::run(const mc::Network& net) const {
     run.cancelled = !slot.finished && winnerIdx >= 0;
     run.slices = slot.slices;
     run.stats = slot.last.result.stats;
+    if (run.cancelled) schedStats.add("sched.cancellations");
   }
 
   if (winnerIdx >= 0) {
@@ -191,6 +219,7 @@ PortfolioResult TimeSliceScheduler::run(const mc::Network& net) const {
     out.best.engine = "portfolio";
     out.best.verdict = mc::Verdict::Unknown;
   }
+  out.best.stats.merge(schedStats);
   out.wallSeconds = wall.seconds();
   out.best.seconds = out.wallSeconds;
   return out;

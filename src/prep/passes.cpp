@@ -52,7 +52,7 @@ std::optional<Lit> latchLit(const aig::Aig& g, VarId v) {
 
 }  // namespace
 
-PassResult coiReduction(const Network& net, util::Stats* stats,
+PassResult coiReduction(const Network& net, obs::Metrics* stats,
                         util::ThreadPool* pool) {
   const std::size_t numL = net.numLatches();
 
@@ -135,7 +135,7 @@ PassResult coiReduction(const Network& net, util::Stats* stats,
   return out;
 }
 
-PassResult constLatchSweep(const Network& net, util::Stats* stats,
+PassResult constLatchSweep(const Network& net, obs::Metrics* stats,
                            util::ThreadPool* pool) {
   const std::size_t numL = net.numLatches();
 
@@ -201,7 +201,7 @@ PassResult constLatchSweep(const Network& net, util::Stats* stats,
 PassResult structuralSimplify(const Network& net, std::int64_t satBudget,
                               std::size_t maxAnds, double minShrink,
                               std::function<bool()> interrupt,
-                              util::Stats* stats, util::ThreadPool* pool) {
+                              obs::Metrics* stats, util::ThreadPool* pool) {
   if (maxAnds != 0 && net.aig.numAnds() > maxAnds) return {};
 
   Network cur = mc::cloneNetwork(net);
@@ -240,7 +240,7 @@ PassResult structuralSimplify(const Network& net, std::int64_t satBudget,
 PassResult latchCorrespondence(const Network& net, std::size_t maxAnds,
                                std::size_t growthLimit,
                                std::function<bool()> interrupt,
-                               util::Stats* stats, util::ThreadPool* pool) {
+                               obs::Metrics* stats, util::ThreadPool* pool) {
   const std::size_t numL = net.numLatches();
   if (numL < 2) return {};
   // Gate on what the compose rounds actually touch — the next-state

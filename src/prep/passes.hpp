@@ -12,7 +12,7 @@
 
 #include "mc/network.hpp"
 #include "prep/trace_lift.hpp"
-#include "util/stats.hpp"
+#include "obs/metrics.hpp"
 
 namespace cbq::util {
 class ThreadPool;
@@ -41,7 +41,7 @@ struct PassResult {
 /// simulation in latchCorrespondence, the sweeper's signature layer in
 /// structuralSimplify. Every pass produces bit-identical networks,
 /// transforms, and stats at any thread count.
-PassResult coiReduction(const mc::Network& net, util::Stats* stats = nullptr,
+PassResult coiReduction(const mc::Network& net, obs::Metrics* stats = nullptr,
                         util::ThreadPool* pool = nullptr);
 
 /// Constant/stuck-at latch sweep: a latch whose next-state function is the
@@ -51,7 +51,7 @@ PassResult coiReduction(const mc::Network& net, util::Stats* stats = nullptr,
 /// cone; substitution can expose further constant latches, so the sweep
 /// iterates to closure.
 PassResult constLatchSweep(const mc::Network& net,
-                           util::Stats* stats = nullptr,
+                           obs::Metrics* stats = nullptr,
                            util::ThreadPool* pool = nullptr);
 
 /// Structural simplification: runs the sweeper (BDD + SAT equivalence
@@ -71,7 +71,7 @@ PassResult structuralSimplify(const mc::Network& net,
                               std::size_t maxAnds = 100000,
                               double minShrink = 0.05,
                               std::function<bool()> interrupt = {},
-                              util::Stats* stats = nullptr,
+                              obs::Metrics* stats = nullptr,
                               util::ThreadPool* pool = nullptr);
 
 /// Latch correspondence: greatest-fixpoint partition refinement. Latches
@@ -103,7 +103,7 @@ PassResult latchCorrespondence(const mc::Network& net,
                                std::size_t maxAnds = 100000,
                                std::size_t growthLimit = 8,
                                std::function<bool()> interrupt = {},
-                               util::Stats* stats = nullptr,
+                               obs::Metrics* stats = nullptr,
                                util::ThreadPool* pool = nullptr);
 
 }  // namespace cbq::prep

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/tracer.hpp"
 #include "util/timer.hpp"
 
 namespace cbq::prep {
@@ -23,6 +24,7 @@ std::optional<mc::Verdict> decideTrivial(const mc::Network& net) {
 
 PreparedProblem Pipeline::run(const mc::Network& net,
                               const portfolio::Budget& budget) const {
+  CBQ_OBS_SPAN("prep", "pipeline");
   util::Timer timer;
   PreparedProblem out;
   out.latchesBefore = net.numLatches();
@@ -44,6 +46,7 @@ PreparedProblem Pipeline::run(const mc::Network& net,
     std::function<PassResult(const mc::Network&)> pass;
   };
   auto runPass = [&](const PassSpec& spec) -> bool {
+    CBQ_OBS_SPAN("prep", spec.name);
     util::Timer passTimer;
     PassStats ps;
     ps.pass = spec.name;
@@ -52,6 +55,8 @@ PreparedProblem Pipeline::run(const mc::Network& net,
     ps.andsBefore = view().aig.numAnds();
 
     PassResult r = spec.pass(view());
+    const double elapsed = passTimer.seconds();
+    out.stats.observe(std::string("prep.") + spec.name + ".seconds", elapsed);
     if (!r.changed) return false;
 
     out.reduced = std::move(r.net);
@@ -60,7 +65,7 @@ PreparedProblem Pipeline::run(const mc::Network& net,
     ps.latchesAfter = out.reduced.numLatches();
     ps.inputsAfter = out.reduced.numInputs();
     ps.andsAfter = out.reduced.aig.numAnds();
-    ps.seconds = passTimer.seconds();
+    ps.seconds = elapsed;
     out.passes.push_back(std::move(ps));
     return true;
   };

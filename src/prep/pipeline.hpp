@@ -100,7 +100,7 @@ struct PreparedProblem {
   std::optional<mc::Verdict> decided;
   std::optional<mc::Trace> decidedCex;
 
-  util::Stats stats;
+  obs::Metrics stats;
 
   /// The network the engines should check: `reduced` when a pass changed
   /// something, otherwise the (caller-owned) original.

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <bit>
 
+#include "obs/tracer.hpp"
 #include "sweep/sweep_context.hpp"
+#include "util/timer.hpp"
 #include "util/var_table.hpp"
 
 namespace cbq::quant {
@@ -116,6 +118,13 @@ std::optional<Lit> Quantifier::quantifyBySubstitution(Lit f, VarId v) {
 
 std::optional<Lit> Quantifier::quantifyVarImpl(Lit f, VarId v,
                                                bool enforceGrowth) {
+  CBQ_OBS_SPAN("quant", "eliminate-var");
+  const util::Timer varTimer;
+  struct ObserveOnExit {
+    obs::Metrics& stats;
+    const util::Timer& timer;
+    ~ObserveOnExit() { stats.observe("quant.var_seconds", timer.seconds()); }
+  } observe{stats_, varTimer};
   stats_.add("quant.vars_attempted");
   if (f.isConstant() || !aig_->dependsOn(f, v)) {
     stats_.add("quant.vars_trivial");

@@ -30,7 +30,7 @@
 #include "aig/aig.hpp"
 #include "sweep/sweeper.hpp"
 #include "synth/dc_simplify.hpp"
-#include "util/stats.hpp"
+#include "obs/metrics.hpp"
 
 namespace cbq::quant {
 
@@ -120,8 +120,8 @@ class Quantifier {
   /// abort policy. Residual variables still occur in the returned formula.
   Result quantifyAll(aig::Lit f, std::span<const aig::VarId> vars);
 
-  [[nodiscard]] const util::Stats& stats() const { return stats_; }
-  util::Stats& stats() { return stats_; }
+  [[nodiscard]] const obs::Metrics& stats() const { return stats_; }
+  obs::Metrics& stats() { return stats_; }
 
   [[nodiscard]] const QuantOptions& options() const { return opts_; }
 
@@ -136,7 +136,7 @@ class Quantifier {
 
   aig::Aig* aig_;
   QuantOptions opts_;
-  util::Stats stats_;
+  obs::Metrics stats_;
 };
 
 }  // namespace cbq::quant

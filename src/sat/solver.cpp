@@ -6,6 +6,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/tracer.hpp"
+
 namespace cbq::sat {
 
 Solver::Solver() = default;
@@ -544,6 +546,7 @@ Status Solver::solve(std::span<const Lit> assumptions) {
 
 Status Solver::solveLimited(std::span<const Lit> assumptions,
                             std::int64_t conflictBudget) {
+  CBQ_OBS_SPAN("sat", "solve");
   conflictCore_.clear();
   if (!ok_) return Status::Unsat;
   assumptions_.assign(assumptions.begin(), assumptions.end());

@@ -21,7 +21,7 @@
 #include <vector>
 
 #include "sat/types.hpp"
-#include "util/stats.hpp"
+#include "obs/metrics.hpp"
 
 namespace cbq::sat {
 
@@ -229,7 +229,7 @@ class Solver {
 /// Adds a solver's effort to a stats bag under the canonical counter
 /// names every engine shares (surfaced in the portfolio JSON/CSV
 /// reports): sat.conflicts / sat.decisions / sat.propagations.
-inline void exportEffort(util::Stats& stats, const Solver& solver) {
+inline void exportEffort(obs::Metrics& stats, const Solver& solver) {
   stats.add("sat.conflicts", static_cast<std::int64_t>(solver.conflicts()));
   stats.add("sat.decisions", static_cast<std::int64_t>(solver.decisions()));
   stats.add("sat.propagations",

@@ -154,7 +154,7 @@ std::uint64_t SweepContext::totalPropagations() const {
   return retiredPropagations_ + (solver_ ? solver_->propagations() : 0);
 }
 
-void SweepContext::exportStats(util::Stats& stats) const {
+void SweepContext::exportStats(obs::Metrics& stats) const {
   stats.add("sat.conflicts", static_cast<std::int64_t>(totalConflicts()));
   stats.add("sat.decisions", static_cast<std::int64_t>(totalDecisions()));
   stats.add("sat.propagations",

@@ -29,7 +29,7 @@
 #include "aig/aig.hpp"
 #include "cnf/aig_cnf.hpp"
 #include "sat/solver.hpp"
-#include "util/stats.hpp"
+#include "obs/metrics.hpp"
 
 namespace cbq::sweep {
 
@@ -133,7 +133,7 @@ class SweepContext {
   /// Adds the session's counters into an engine stats bag under the
   /// canonical names (sat.conflicts/decisions/propagations,
   /// sweep.cache_lookups/_hits_proven/_hits_refuted, sweep.session_rebinds).
-  void exportStats(util::Stats& stats) const;
+  void exportStats(obs::Metrics& stats) const;
 
  private:
   static std::uint64_t pairKey(aig::Lit a, aig::Lit b);

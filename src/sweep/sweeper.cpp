@@ -5,6 +5,7 @@
 
 #include "bdd/bdd.hpp"
 #include "cnf/aig_cnf.hpp"
+#include "obs/tracer.hpp"
 #include "sat/solver.hpp"
 #include "sweep/signatures.hpp"
 #include "sweep/sweep_context.hpp"
@@ -72,6 +73,7 @@ class UnionFind {
 
 SweepResult sweep(aig::Aig& aig, std::span<const Lit> roots,
                   const SweepOptions& opts) {
+  CBQ_OBS_SPAN("sweep", "sweep");
   SweepResult out;
   out.roots.assign(roots.begin(), roots.end());
   const auto order = aig.coneAnds(roots);
@@ -220,6 +222,7 @@ SweepResult sweep(aig::Aig& aig, std::span<const Lit> roots,
   bool interrupted = false;
   for (int round = 0;
        opts.useSat && !interrupted && round < opts.maxRounds; ++round) {
+    CBQ_OBS_SPAN("sweep", "refine-round");
     ++out.stats.rounds;
 
     // Build candidate classes from the current signatures: a dense

@@ -1,6 +1,11 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+#include "util/timer.hpp"
 
 namespace cbq::util {
 
@@ -8,7 +13,10 @@ ThreadPool::ThreadPool(int threads) {
   const int workers = std::max(0, threads - 1);
   workers_.reserve(static_cast<std::size_t>(workers));
   for (int w = 0; w < workers; ++w)
-    workers_.emplace_back([this, w] { workerLoop(w + 1); });
+    workers_.emplace_back([this, w] {
+      obs::setThreadLabel("pool lane " + std::to_string(w + 1));
+      workerLoop(w + 1);
+    });
 }
 
 ThreadPool::~ThreadPool() {
@@ -21,9 +29,11 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::runChunks(Job& job, int lane) {
+  CBQ_OBS_SPAN("pool", "chunks");
+  const Timer busy;
   for (;;) {
     const std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
-    if (c >= job.numChunks) return;
+    if (c >= job.numChunks) break;
     const std::size_t begin = c * job.chunk;
     const std::size_t end = std::min(begin + job.chunk, job.n);
     try {
@@ -39,6 +49,12 @@ void ThreadPool::runChunks(Job& job, int lane) {
       joined_.notify_all();
     }
   }
+  // Lane occupancy for the run-level report: how much wall time the pool's
+  // lanes spent inside parallel regions. Charged once per lane per region
+  // (amortized — never on the serial fast path).
+  obs::globalMetrics().add(
+      "pool.lane_busy_ns",
+      static_cast<std::int64_t>(busy.seconds() * 1e9));
 }
 
 void ThreadPool::workerLoop(int lane) {
@@ -76,6 +92,8 @@ void ThreadPool::parallelFor(std::size_t n, std::size_t grain,
     return;
   }
 
+  CBQ_OBS_SPAN("pool", "parallel-for");
+  const Timer region;
   Job job;
   job.body = &body;
   job.n = n;
@@ -105,6 +123,8 @@ void ThreadPool::parallelFor(std::size_t n, std::size_t grain,
     });
   }
   busy_.store(false, std::memory_order_release);
+  obs::globalMetrics().add("pool.regions");
+  obs::globalMetrics().observe("pool.region_seconds", region.seconds());
   if (job.error) std::rethrow_exception(job.error);
 }
 

@@ -1,5 +1,5 @@
 #pragma once
-// Wall-clock timing helpers used by engines and benchmark harnesses.
+// Duration timing helpers used by engines and benchmark harnesses.
 
 #include <chrono>
 #include <cstdint>
@@ -7,8 +7,20 @@
 namespace cbq::util {
 
 /// Monotonic stopwatch. Started on construction; restartable.
+///
+/// All duration measurement in the codebase — this stopwatch, the
+/// portfolio Budget's deadline, and the span tracer's timestamps — must
+/// run on steady_clock: an NTP step or DST change must never corrupt a
+/// budget, a report's seconds column, or a trace. system_clock is
+/// reserved for wall timestamps in run headers. Enforced here and at the
+/// other clock sites by static_assert; test_obs.cpp carries the runtime
+/// regression test.
 class Timer {
  public:
+  using Clock = std::chrono::steady_clock;
+  static_assert(Clock::is_steady,
+                "durations must come from a monotonic clock");
+
   Timer() : start_(Clock::now()) {}
 
   /// Restarts the stopwatch.
@@ -23,7 +35,6 @@ class Timer {
   [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
 

@@ -156,7 +156,7 @@ TEST(QuantExtra, MaxConeGaugeTracksPeak) {
 }
 
 TEST(Stats, StreamOperatorPrintsEverything) {
-  util::Stats s;
+  obs::Metrics s;
   s.add("alpha", 3);
   s.set("beta", 1.5);
   std::ostringstream os;

@@ -7,7 +7,7 @@
 #include <thread>
 
 #include "util/random.hpp"
-#include "util/stats.hpp"
+#include "obs/metrics.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -97,16 +97,16 @@ TEST(Timer, RestartResets) {
 
 // Deadline semantics moved to portfolio::Budget (see test_portfolio.cpp).
 
-TEST(Stats, CountersAccumulate) {
-  util::Stats s;
+TEST(Metrics, CountersAccumulate) {
+  obs::Metrics s;
   EXPECT_EQ(s.count("x"), 0);
   s.add("x");
   s.add("x", 4);
   EXPECT_EQ(s.count("x"), 5);
 }
 
-TEST(Stats, GaugesSetAndHigh) {
-  util::Stats s;
+TEST(Metrics, GaugesSetAndHigh) {
+  obs::Metrics s;
   s.set("g", 2.0);
   EXPECT_DOUBLE_EQ(s.gauge("g"), 2.0);
   s.high("g", 1.0);
@@ -115,9 +115,9 @@ TEST(Stats, GaugesSetAndHigh) {
   EXPECT_DOUBLE_EQ(s.gauge("g"), 3.5);
 }
 
-TEST(Stats, MergeAddsCountersMaxesGauges) {
-  util::Stats a;
-  util::Stats b;
+TEST(Metrics, MergeAddsCountersMaxesGauges) {
+  obs::Metrics a;
+  obs::Metrics b;
   a.add("c", 2);
   b.add("c", 3);
   a.high("g", 1.0);
@@ -127,8 +127,8 @@ TEST(Stats, MergeAddsCountersMaxesGauges) {
   EXPECT_DOUBLE_EQ(a.gauge("g"), 5.0);
 }
 
-TEST(Stats, ClearEmpties) {
-  util::Stats s;
+TEST(Metrics, ClearEmpties) {
+  obs::Metrics s;
   s.add("c");
   s.set("g", 1.0);
   s.clear();
