@@ -46,6 +46,7 @@
 #include "portfolio/runner.hpp"
 #include "portfolio/scheduler.hpp"
 #include "sweep/signatures.hpp"
+#include "util/fault.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -68,6 +69,12 @@ struct Args {
   bool progress = false;  // NDJSON progress events on stderr
   std::string engine;
   std::vector<std::string> engines;
+  std::vector<std::string> inject;  // --inject fault specs (repeatable)
+  std::uint64_t injectSeed = 0;
+  double memLimitMb = 0.0;  // --mem-limit: soft RSS ceiling (MB)
+  int retries = 0;          // --retries: batch retry budget
+  std::vector<std::string> fallbackEngines;  // --fallback-engines
+  int seeds = 50;           // --seeds: soak fault schedules
   std::string schedule;  // race | slice (bench also: seq)
   std::string prepSpec;  // on | off | comma list of passes
   std::string output;  // -o
@@ -176,6 +183,39 @@ std::vector<std::string> splitCsv(const std::string& s) {
   return out;
 }
 
+/// Arms --inject fault specs (after seeding with --inject-seed). Returns
+/// false on a malformed spec. No-op in -DCBQ_FAULTS=OFF builds, where the
+/// flags are accepted but warn that injection is compiled out.
+bool armInjections(const Args& args) {
+  if (args.inject.empty()) return true;
+#if defined(CBQ_NO_FAULTS)
+  std::fprintf(stderr,
+               "cbq: warning: built with CBQ_FAULTS=OFF, --inject ignored\n");
+  return true;
+#else
+  auto& injector = cbq::util::FaultInjector::instance();
+  injector.seed(args.injectSeed);
+  for (const std::string& spec : args.inject) {
+    std::string error;
+    if (!injector.arm(spec, &error)) {
+      std::fprintf(stderr, "cbq: bad --inject spec: %s\n", error.c_str());
+      return false;
+    }
+  }
+  return true;
+#endif
+}
+
+/// Prints armed-site hit/fire counters (after a faulted run).
+void printFaultStats() {
+#if !defined(CBQ_NO_FAULTS)
+  for (const auto& s : cbq::util::FaultInjector::instance().stats())
+    std::fprintf(stderr, "fault: %s hits=%llu fires=%llu\n", s.site.c_str(),
+                 static_cast<unsigned long long>(s.hits),
+                 static_cast<unsigned long long>(s.fires));
+#endif
+}
+
 bool parseArgs(int argc, char** argv, int first, Args& args) {
   for (int i = first; i < argc; ++i) {
     const std::string a = argv[i];
@@ -210,6 +250,30 @@ bool parseArgs(int argc, char** argv, int first, Args& args) {
       const char* v = value("--engines");
       if (!v) return false;
       args.engines = splitCsv(v);
+    } else if (a == "--inject") {
+      const char* v = value("--inject");
+      if (!v) return false;
+      args.inject.emplace_back(v);
+    } else if (a == "--inject-seed") {
+      const char* v = value("--inject-seed");
+      if (!v) return false;
+      args.injectSeed = static_cast<std::uint64_t>(std::strtoull(v, nullptr, 10));
+    } else if (a == "--mem-limit") {
+      const char* v = value("--mem-limit");
+      if (!v) return false;
+      args.memLimitMb = std::atof(v);
+    } else if (a == "--retries") {
+      const char* v = value("--retries");
+      if (!v) return false;
+      args.retries = std::atoi(v);
+    } else if (a == "--fallback-engines") {
+      const char* v = value("--fallback-engines");
+      if (!v) return false;
+      args.fallbackEngines = splitCsv(v);
+    } else if (a == "--seeds") {
+      const char* v = value("--seeds");
+      if (!v) return false;
+      args.seeds = std::atoi(v);
     } else if (a == "--schedule") {
       const char* v = value("--schedule");
       if (!v) return false;
@@ -298,6 +362,27 @@ int usage() {
       "      emit the standard suite (all families, safe+unsafe) into dir\n"
       "  cbq engines\n"
       "      list engine names (* = default portfolio)\n"
+      "  cbq soak [--seeds N] [--smoke] [--timeout S] [--schedule race|slice]\n"
+      "           [--engines A,B,C] [-o FILE] [--quiet]\n"
+      "      soundness-under-faults soak: N randomized fault schedules per\n"
+      "      suite circuit (deterministic per seed). Faults may only\n"
+      "      DEGRADE verdicts: a faulted run may answer UNKNOWN but never\n"
+      "      flip a definitive answer against the ground truth, and the\n"
+      "      process must never abort. --smoke shrinks the suite for CI.\n"
+      "      exit codes: 0 sound, 3 verdict flip detected, 1 usage error\n"
+      "  robustness flags (check/batch/soak):\n"
+      "      --inject 'site[:K|:prob=P][:throw|fail|stall|oom|nonstd]"
+      "[:stall=MS]'\n"
+      "          arm a deterministic fault (repeatable); sites: bdd.alloc,\n"
+      "          sat.solve, aig.grow, io.read_chunk, engine.resume,\n"
+      "          prep.pass\n"
+      "      --inject-seed S   seed for prob-mode faults (reproducible)\n"
+      "      --mem-limit MB    soft per-problem RSS ceiling: engines bail\n"
+      "                        to UNKNOWN instead of riding into the OOM\n"
+      "                        killer\n"
+      "      --retries N       batch: retry failure-driven UNKNOWNs with\n"
+      "                        fresh sessions (default 0)\n"
+      "      --fallback-engines A,B   batch: engine set for retry attempts\n"
       "  cbq bench [--engine NAME] [--timeout S] [--smoke] [-o FILE]\n"
       "            [--schedule seq|slice|race] [--prep ...]\n"
       "      run the generated family suite and write BENCH_reach.json:\n"
@@ -359,6 +444,8 @@ int cmdCheck(const Args& args) {
   }
   opts.timeLimitSeconds = args.timeout;
   opts.nodeLimit = args.nodeLimit;
+  opts.rssLimitBytes =
+      static_cast<std::size_t>(args.memLimitMb * 1024.0 * 1024.0);
   if (!parseSchedule(args.schedule, opts.schedule)) return 1;
   if (!parsePrep(args.prepSpec, opts.prep)) return 1;
   opts.sliceWorkers = args.workers;
@@ -389,6 +476,14 @@ int cmdCheck(const Args& args) {
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "cbq: %s\n", e.what());
     return 1;
+  } catch (const std::exception& e) {
+    // Engine-layer failure that escaped every barrier: graceful
+    // degradation means UNKNOWN (20), never a crash or a usage error.
+    std::fprintf(stderr, "cbq: engine failure: %s\n", e.what());
+    return 20;
+  } catch (...) {
+    std::fprintf(stderr, "cbq: engine failure: non-standard exception\n");
+    return 20;
   }
   if (!args.tracePath.empty()) {
     cbq::obs::disableTracing();
@@ -412,6 +507,18 @@ int cmdCheck(const Args& args) {
                     peakOf("mem.aig_peak_nodes")),
                 static_cast<unsigned long long>(peakOf("bdd.peak_nodes")));
   }
+  if (res.engineFailures > 0) {
+    std::printf("containment: %d engine%s failed and %s quarantined%s\n",
+                res.engineFailures, res.engineFailures == 1 ? "" : "s",
+                res.engineFailures == 1 ? "was" : "were",
+                res.allEnginesFailed ? " (ALL engines failed)" : "");
+    for (const auto& r : res.runs)
+      if (r.failed)
+        std::printf("  %-14s %s\n", r.engine.c_str(), r.error.c_str());
+  }
+  if (res.memLimitHit)
+    std::printf("containment: soft RSS ceiling hit; engines bailed out\n");
+  if (!args.inject.empty()) printFaultStats();
   const auto* winner = res.winner();
   std::printf("verdict: %s (%s, %.3fs wall)\n",
               cbq::mc::toString(res.best.verdict),
@@ -459,6 +566,8 @@ int cmdBatch(const Args& args) {
 
   cbq::portfolio::BatchOptions opts;
   opts.jobs = args.jobs;
+  opts.retries = args.retries;
+  opts.fallbackEngines = args.fallbackEngines;
   if (!args.engine.empty()) {
     opts.portfolio.engines = {args.engine};
   } else if (!args.engines.empty()) {
@@ -466,6 +575,8 @@ int cmdBatch(const Args& args) {
   }
   opts.portfolio.timeLimitSeconds = args.timeout;
   opts.portfolio.nodeLimit = args.nodeLimit;
+  opts.portfolio.rssLimitBytes =
+      static_cast<std::size_t>(args.memLimitMb * 1024.0 * 1024.0);
   if (!parseSchedule(args.schedule, opts.portfolio.schedule)) return 1;
   if (!parsePrep(args.prepSpec, opts.portfolio.prep)) return 1;
   opts.portfolio.sliceWorkers = args.workers;
@@ -496,11 +607,19 @@ int cmdBatch(const Args& args) {
             std::printf("%-28s ERROR    %s\n", r.name.c_str(),
                         r.error.c_str());
           } else {
-            std::printf("%-28s %-8s %-14s %6d steps %9.3fs\n",
+            std::string note;
+            if (r.engineFailures > 0)
+              note += " [" + std::to_string(r.engineFailures) +
+                      " engine failure" +
+                      (r.engineFailures == 1 ? "]" : "s]");
+            if (r.retries > 0)
+              note += " [retried x" + std::to_string(r.retries) + "]";
+            if (r.memLimitHit) note += " [mem limit]";
+            std::printf("%-28s %-8s %-14s %6d steps %9.3fs%s\n",
                         r.name.c_str(), cbq::mc::toString(r.verdict),
                         r.winnerEngine.empty() ? "-"
                                                : r.winnerEngine.c_str(),
-                        r.steps, r.seconds);
+                        r.steps, r.seconds, note.c_str());
           }
           std::fflush(stdout);
         };
@@ -519,6 +638,7 @@ int cmdBatch(const Args& args) {
       "(%.3fs wall)\n",
       summary.problems.size(), summary.safe, summary.unsafe,
       summary.unknown, summary.errors, summary.wallSeconds);
+  if (!args.inject.empty()) printFaultStats();
 
   const cbq::portfolio::RunInfo runInfo = makeRunInfo(args, args.schedule);
   auto writeReport = [](const std::string& path, const auto& writer,
@@ -958,6 +1078,168 @@ int cmdBenchPar(const Args& args) {
   return mismatches == 0 ? 0 : 2;
 }
 
+/// `cbq soak`: the soundness-under-faults harness. For each of --seeds
+/// deterministic seeds, arms a randomized fault schedule (1-2 sites, a
+/// random mode and trigger) and runs the portfolio over the suite. The
+/// invariant under test: faults may only DEGRADE a verdict — a faulted
+/// run may answer Unknown, but a definitive answer must match the
+/// instance's ground truth (Unsafe additionally passed the replay referee
+/// inside the runner), and the process must never abort. Exit 0 when
+/// sound, 3 on any verdict flip.
+int cmdSoak(const Args& args) {
+#if defined(CBQ_NO_FAULTS)
+  std::fprintf(stderr,
+               "cbq: soak needs fault injection; rebuild with CBQ_FAULTS=ON\n");
+  return 1;
+#else
+  const int seeds = args.seeds > 0 ? args.seeds : 50;
+  const double timeout = args.timeout > 0.0 ? args.timeout : 10.0;
+  cbq::portfolio::ScheduleMode mode;
+  if (!parseSchedule(args.schedule, mode)) return 1;
+
+  // The suite: built-in instances with known ground-truth verdicts. The
+  // smoke subset keeps CI fast while still covering safe+unsafe and both
+  // SAT- and BDD-leaning families.
+  auto instances = cbq::circuits::standardSuite();
+  if (args.smoke) {
+    std::erase_if(instances, [](const cbq::circuits::Instance& inst) {
+      return inst.width > 3 ||
+             !(inst.family == "counter" || inst.family == "gray" ||
+               inst.family == "ring" || inst.family == "arbiter");
+    });
+  }
+  if (instances.empty()) {
+    std::fprintf(stderr, "cbq: soak suite is empty\n");
+    return 1;
+  }
+
+  const auto& sites = cbq::util::FaultInjector::knownSites();
+  static constexpr const char* kModes[] = {"throw", "fail", "stall", "oom",
+                                           "nonstd"};
+
+  // splitmix64: the schedule for seed s is a pure function of s, so a
+  // failing seed replays exactly with --seeds 1 after editing, or via the
+  // printed --inject specs.
+  auto split = [](std::uint64_t& st) {
+    st += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = st;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+
+  auto& injector = cbq::util::FaultInjector::instance();
+  struct Flip {
+    int seed;
+    std::string name;
+    std::string expected, got;
+    std::string schedule;
+  };
+  std::vector<Flip> flips;
+  long long runs = 0, degraded = 0, definitive = 0;
+  unsigned long long firesTotal = 0;
+  cbq::util::Timer wall;
+
+  for (int seed = 0; seed < seeds; ++seed) {
+    // Build this seed's schedule: 1-2 armed sites, random mode, random
+    // trigger (fixed nth or per-hit probability), short stalls.
+    std::uint64_t st = 0x5eedull + static_cast<std::uint64_t>(seed);
+    const int nFaults = 1 + static_cast<int>(split(st) % 2);
+    std::string scheduleDesc;
+    injector.disarm();
+    injector.seed(static_cast<std::uint64_t>(seed));
+    for (int k = 0; k < nFaults; ++k) {
+      std::string spec = sites[split(st) % sites.size()];
+      spec += ":";
+      spec += kModes[split(st) % (sizeof(kModes) / sizeof(kModes[0]))];
+      if (split(st) % 2 == 0) {
+        spec += ":" + std::to_string(1 + split(st) % 20);
+      } else {
+        spec += ":prob=0." + std::to_string(1 + split(st) % 4);  // .1-.4
+      }
+      spec += ":stall=25";
+      std::string error;
+      if (!injector.arm(spec, &error)) {
+        std::fprintf(stderr, "cbq: internal soak spec error: %s\n",
+                     error.c_str());
+        return 1;
+      }
+      if (!scheduleDesc.empty()) scheduleDesc += " ";
+      scheduleDesc += spec;
+    }
+
+    for (const auto& inst : instances) {
+      cbq::portfolio::PortfolioOptions popts;
+      if (!args.engines.empty()) popts.engines = args.engines;
+      popts.timeLimitSeconds = timeout;
+      popts.schedule = mode;
+      popts.sliceWorkers = args.workers;
+      Verdict got = Verdict::Unknown;
+      try {
+        const cbq::portfolio::PortfolioRunner runner(popts);
+        got = runner.run(inst.net).best.verdict;
+      } catch (...) {
+        // Contained at the harness level: still only a degradation.
+        got = Verdict::Unknown;
+      }
+      ++runs;
+      if (got == Verdict::Unknown) {
+        ++degraded;
+      } else {
+        ++definitive;
+        if (got != inst.expected) {
+          std::ostringstream name;
+          name << inst.family;
+          if (inst.width > 0) name << inst.width;
+          name << (inst.expected == Verdict::Safe ? "_safe" : "_unsafe");
+          flips.push_back({seed, name.str(),
+                           cbq::mc::toString(inst.expected),
+                           cbq::mc::toString(got), scheduleDesc});
+        }
+      }
+    }
+    firesTotal += injector.fireCount();
+    if (!args.quiet && (seed + 1) % 10 == 0) {
+      std::printf("soak: %d/%d seeds, %lld runs, %lld degraded, "
+                  "%zu flips, %llu faults fired\n",
+                  seed + 1, seeds, runs, degraded, flips.size(), firesTotal);
+      std::fflush(stdout);
+    }
+  }
+  injector.disarm();
+
+  for (const Flip& f : flips)
+    std::printf("FLIP: seed %d %s expected %s got %s under [%s]\n", f.seed,
+                f.name.c_str(), f.expected.c_str(), f.got.c_str(),
+                f.schedule.c_str());
+  std::printf("soak: %d seeds x %zu circuits = %lld runs, "
+              "%lld definitive, %lld degraded to UNKNOWN, %llu faults "
+              "fired, %zu verdict flips (%.1fs)\n",
+              seeds, instances.size(), runs, definitive, degraded,
+              firesTotal, flips.size(), wall.seconds());
+
+  if (!args.output.empty()) {
+    std::ofstream out(args.output);
+    if (!out) {
+      std::fprintf(stderr, "cbq: cannot write %s\n", args.output.c_str());
+      return 1;
+    }
+    out << "{\n  \"run\": ";
+    makeRunInfo(args, args.schedule).writeJson(out);
+    out << ",\n";
+    out << "  \"seeds\": " << seeds << ",\n";
+    out << "  \"circuits\": " << instances.size() << ",\n";
+    out << "  \"runs\": " << runs << ",\n";
+    out << "  \"definitive\": " << definitive << ",\n";
+    out << "  \"degraded_to_unknown\": " << degraded << ",\n";
+    out << "  \"faults_fired\": " << firesTotal << ",\n";
+    out << "  \"verdict_flips\": " << flips.size() << ",\n";
+    out << "  \"wall_seconds\": " << wall.seconds() << "\n}\n";
+  }
+  return flips.empty() ? 0 : 3;
+#endif
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -969,8 +1251,10 @@ int main(int argc, char** argv) {
     args.command += argv[i];
   }
   if (!parseArgs(argc, argv, 2, args)) return 1;
+  if (!armInjections(args)) return 1;
 
   if (cmd == "engines") return cmdEngines();
+  if (cmd == "soak") return cmdSoak(args);
   if (cmd == "bench") return cmdBench(args);
   if (cmd == "bench-par") return cmdBenchPar(args);
   if (cmd == "check") return cmdCheck(args);

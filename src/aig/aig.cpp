@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cassert>
 #include <stdexcept>
+#include "util/fault.hpp"
 
 namespace cbq::aig {
 
@@ -27,6 +28,9 @@ Aig::Aig() {
 }
 
 NodeId Aig::newNode(Lit f0, Lit f1, std::uint32_t level) {
+  // Injection site: AIG growth is where every engine's memory pressure
+  // concentrates (pre-images, unrollings, clones all land here).
+  CBQ_FAULT_POINT("aig.grow");
   const NodeId id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(Node{f0, f1, level});
   stamp_.push_back(0);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include "util/fault.hpp"
 
 namespace cbq::bdd {
 
@@ -22,6 +23,9 @@ BddRef BddManager::mkNode(std::uint32_t level, BddRef lo, BddRef hi) {
   if (interrupt_ && (++allocsSinceInterruptPoll_ & 255u) == 0 &&
       interrupt_())
     throw Interrupted{};
+  // Injection site: a blown-up BDD allocation deep inside image/ite
+  // recursion — the classic organic failure the engine barriers contain.
+  CBQ_FAULT_POINT("bdd.alloc");
   nodes_.push_back(Node{level, lo, hi});
   const auto ref = static_cast<BddRef>(nodes_.size() + 1);  // ids offset by 2
   unique_.emplace(key, ref);

@@ -1,12 +1,15 @@
 #include "circuits/io.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <unordered_map>
 #include <vector>
+
+#include "util/fault.hpp"
 
 namespace cbq::circuits {
 
@@ -60,6 +63,18 @@ struct AagAnd {
   std::size_t lineNo;  ///< where the gate was defined, for error reports
 };
 
+/// Hard ceiling on header-declared counts (variables, inputs, gates...).
+/// A corrupt or hostile header must never size an allocation: 2^26
+/// variables is far beyond the largest benchmark family while keeping
+/// the worst-case working-set of the M-indexed tables a few hundred MB
+/// instead of "whatever 10 digits of ASCII ask for".
+constexpr unsigned kMaxHeaderCount = 1u << 26;
+
+/// Reserve hint for section vectors read entry-by-entry: trust the
+/// header only up to a modest prefix, then let growth track the bytes
+/// actually present in the file.
+constexpr std::size_t kReserveCap = 1u << 16;
+
 }  // namespace
 
 mc::Network readAag(std::istream& in, std::string name) {
@@ -87,15 +102,30 @@ mc::Network readAag(std::istream& in, std::string name) {
     hs >> b >> c >> j >> f;  // absent 1.9 fields stay 0
     if (c > 0) reader.fail("invariant constraints unsupported");
     if (j > 0 || f > 0) reader.fail("justice/fairness properties unsupported");
+    // Counts gate every allocation below; refuse implausible ones before
+    // a corrupt 10-digit field turns into a multi-gigabyte vector.
+    if (m > kMaxHeaderCount || i > kMaxHeaderCount || l > kMaxHeaderCount ||
+        o > kMaxHeaderCount || a > kMaxHeaderCount || b > kMaxHeaderCount)
+      reader.fail("implausible header count (limit 2^26)");
+    // M is the maximum variable index: every input, latch and AND claims
+    // a distinct variable, so fewer than I+L+A indices cannot hold them.
+    if (static_cast<std::uint64_t>(i) + l + a > m)
+      reader.fail("inconsistent header: M < I + L + A");
   }
 
   Network net;
   net.name = std::move(name);
 
-  std::vector<unsigned> inputLits(i);
-  for (auto& x : inputLits) {
+  // Section vectors grow entry-by-entry: each entry is backed by a line
+  // actually read (EOF throws), so memory tracks the real file size, not
+  // whatever the header claims.
+  std::vector<unsigned> inputLits;
+  inputLits.reserve(std::min<std::size_t>(i, kReserveCap));
+  for (unsigned k = 0; k < i; ++k) {
     std::istringstream ls(reader.expect("an input literal"));
+    unsigned x = 0;
     if (!(ls >> x)) reader.fail("bad input line");
+    inputLits.push_back(x);
   }
 
   struct LatchDef {
@@ -103,9 +133,11 @@ mc::Network readAag(std::istream& in, std::string name) {
     bool init;
     std::size_t lineNo;
   };
-  std::vector<LatchDef> latches(l);
-  for (auto& ld : latches) {
+  std::vector<LatchDef> latches;
+  latches.reserve(std::min<std::size_t>(l, kReserveCap));
+  for (unsigned k = 0; k < l; ++k) {
     std::istringstream ls(reader.expect("a latch definition"));
+    LatchDef ld;
     ld.init = false;
     ld.lineNo = reader.lineNo();
     unsigned init = 0;
@@ -118,6 +150,7 @@ mc::Network readAag(std::istream& in, std::string name) {
       if (init > 1) reader.fail("bad latch reset value");
       ld.init = (init != 0);
     }
+    latches.push_back(ld);
   }
 
   // Outputs, then the 1.9 bad-literal section; both name states the
@@ -126,17 +159,23 @@ mc::Network readAag(std::istream& in, std::string name) {
     unsigned lit;
     std::size_t lineNo;
   };
-  std::vector<OutputDef> outputs(o + b);
-  for (auto& od : outputs) {
+  std::vector<OutputDef> outputs;
+  outputs.reserve(std::min<std::size_t>(o + b, kReserveCap));
+  for (unsigned k = 0; k < o + b; ++k) {
     std::istringstream ls(reader.expect("an output literal"));
+    OutputDef od;
     od.lineNo = reader.lineNo();
     if (!(ls >> od.lit)) reader.fail("bad output line");
+    outputs.push_back(od);
   }
-  std::vector<AagAnd> ands(a);
-  for (auto& g : ands) {
+  std::vector<AagAnd> ands;
+  ands.reserve(std::min<std::size_t>(a, kReserveCap));
+  for (unsigned k = 0; k < a; ++k) {
     std::istringstream ls(reader.expect("an AND definition"));
+    AagAnd g;
     g.lineNo = reader.lineNo();
     if (!(ls >> g.lhs >> g.rhs0 >> g.rhs1)) reader.fail("bad AND line");
+    ands.push_back(g);
   }
 
   // Symbol table (`i<k> name` / `l<k> name` / `o<k> name` / `b<k> name`
@@ -304,6 +343,10 @@ class ChunkedByteReader {
   /// Next byte as 0..255, or -1 at end of input.
   int get() {
     if (pos_ == len_) {
+      // Injection site: fail-mode simulates a file truncated mid-chunk,
+      // which the callers must turn into a clean ParseError.
+      CBQ_FAULT_POINT("io.read_chunk");
+      if (CBQ_FAULT_FAIL("io.read_chunk")) return -1;
       in_.read(buf_, kChunk);
       len_ = static_cast<std::size_t>(in_.gcount());
       pos_ = 0;
@@ -362,7 +405,13 @@ mc::Network readAigBinary(std::istream& in, std::string name) {
     std::string magic;
     if (!(hs >> magic >> m >> i >> l >> o >> a) || magic != "aig")
       reader.fail("not a binary AIGER header (aig M I L O A)");
-    if (m != i + l + a) reader.fail("inconsistent binary AIGER header");
+    // The count cap comes first: M = I + L + A is checked in 64 bits so a
+    // header crafted to wrap unsigned arithmetic cannot pass either test.
+    if (m > kMaxHeaderCount || i > kMaxHeaderCount || l > kMaxHeaderCount ||
+        o > kMaxHeaderCount || a > kMaxHeaderCount)
+      reader.fail("implausible header count (limit 2^26)");
+    if (static_cast<std::uint64_t>(i) + l + a != m)
+      reader.fail("inconsistent binary AIGER header");
   }
 
   Network net;
@@ -379,21 +428,27 @@ mc::Network readAigBinary(std::istream& in, std::string name) {
     unsigned next;
     bool init;
   };
-  std::vector<LatchDef> latches(l);
+  std::vector<LatchDef> latches;
+  latches.reserve(std::min<std::size_t>(l, kReserveCap));
   for (unsigned k = 0; k < l; ++k) {
     std::istringstream ls(reader.expect("a binary latch line"));
+    LatchDef ld;
     unsigned init = 0;
-    if (!(ls >> latches[k].next)) reader.fail("bad binary latch line");
-    latches[k].init = (ls >> init) && init != 0;
+    if (!(ls >> ld.next)) reader.fail("bad binary latch line");
+    ld.init = (ls >> init) && init != 0;
+    latches.push_back(ld);
     const unsigned var = i + 1 + k;
     net.stateVars.push_back(var);
-    net.init.push_back(latches[k].init);
+    net.init.push_back(ld.init);
     value[var] = net.aig.pi(var);
   }
-  std::vector<unsigned> outputs(o);
-  for (auto& x : outputs) {
+  std::vector<unsigned> outputs;
+  outputs.reserve(std::min<std::size_t>(o, kReserveCap));
+  for (unsigned k = 0; k < o; ++k) {
     std::istringstream ls(reader.expect("a binary output line"));
+    unsigned x = 0;
     if (!(ls >> x)) reader.fail("bad binary output line");
+    outputs.push_back(x);
   }
 
   auto litOf = [&](unsigned x) -> Lit {

@@ -34,6 +34,7 @@
 #include "mc/result.hpp"
 #include "portfolio/budget.hpp"
 #include "quant/quantifier.hpp"
+#include "util/fault.hpp"
 #include "util/timer.hpp"
 
 namespace cbq::mc {
@@ -71,6 +72,9 @@ class Session {
   /// done report, further calls return the same final Progress.
   Progress resume(const portfolio::Budget& budget = {}) {
     if (final_.has_value()) return *final_;
+    // Injection site: the one chokepoint every engine slice passes
+    // through, regardless of which engine implements doResume().
+    CBQ_FAULT_POINT("engine.resume");
     util::Timer timer;
     Progress p = doResume(budget);
     p.sliceSeconds = timer.seconds();

@@ -5,6 +5,7 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
+#include <unistd.h>
 #endif
 
 namespace cbq::obs {
@@ -37,6 +38,27 @@ std::uint64_t peakRssBytes() {
 #endif
   }
 #endif
+  return 0;
+}
+
+std::uint64_t currentRssBytes() {
+#if defined(__linux__)
+  // /proc/self/statm field 2 is resident pages — one short read, cheap
+  // enough for a rate-limited budget poll.
+  if (std::FILE* f = std::fopen("/proc/self/statm", "r")) {
+    unsigned long long sizePages = 0;
+    unsigned long long residentPages = 0;
+    const int got = std::fscanf(f, "%llu %llu", &sizePages, &residentPages);
+    std::fclose(f);
+    if (got == 2) {
+      static const long pageSize = sysconf(_SC_PAGESIZE);
+      return static_cast<std::uint64_t>(residentPages) *
+             static_cast<std::uint64_t>(pageSize > 0 ? pageSize : 4096);
+    }
+  }
+#endif
+  // No portable "current RSS" fallback: peak is the wrong answer for a
+  // ceiling that should reset between problems, so report unavailable.
   return 0;
 }
 

@@ -11,4 +11,11 @@ namespace cbq::obs {
 /// getrusage fallback; returns 0 where neither exists.
 [[nodiscard]] std::uint64_t peakRssBytes();
 
+/// Current resident set size in bytes (/proc/self/statm on Linux). This
+/// is what the portfolio Budget's soft RSS ceiling polls: unlike the
+/// monotone peak, it can fall when an engine releases memory, so one
+/// memory-hungry problem does not poison the ceiling for the rest of a
+/// batch. Returns 0 where unavailable (the ceiling then never trips).
+[[nodiscard]] std::uint64_t currentRssBytes();
+
 }  // namespace cbq::obs

@@ -15,6 +15,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <memory>
+
+#include "obs/memory.hpp"
 
 namespace cbq::portfolio {
 
@@ -56,6 +59,22 @@ class Budget {
       deadline_ = Clock::now() + toDuration(deadlineSeconds);
   }
 
+  /// Installs a soft RSS ceiling (bytes; 0 = none): when the process's
+  /// CURRENT resident set crosses it, exhausted() turns true and every
+  /// engine polling this budget (or any tightened() copy — the ceiling
+  /// state is shared across copies) bails out to Unknown through the same
+  /// cooperative path as a deadline, instead of letting the kernel OOM-
+  /// kill the worker. "Soft" because it is polled: the check is rate-
+  /// limited to every kMemPollStride-th exhausted() call, so overshoot is
+  /// bounded by what an engine allocates between polls. Returns *this for
+  /// builder-style use.
+  Budget& withRssLimit(std::size_t rssLimitBytes) {
+    rssLimit_ = rssLimitBytes;
+    if (rssLimitBytes != 0 && mem_ == nullptr)
+      mem_ = std::make_shared<MemState>();
+    return *this;
+  }
+
   /// The tighter of this budget and a fresh allowance of `seconds` from
   /// now — how an engine folds its own option time limit into the caller's
   /// budget. Non-positive `seconds` adds no constraint.
@@ -74,8 +93,34 @@ class Budget {
   [[nodiscard]] bool timedOut() const {
     return deadline_ != Clock::time_point::max() && Clock::now() >= deadline_;
   }
-  /// The per-loop poll: external cancel or deadline.
-  [[nodiscard]] bool exhausted() const { return cancelled() || timedOut(); }
+  /// The per-loop poll: external cancel, deadline, or RSS ceiling.
+  [[nodiscard]] bool exhausted() const {
+    return cancelled() || timedOut() || memExceeded();
+  }
+
+  /// The soft RSS ceiling check. Sticky once tripped (shared across every
+  /// copy of this budget, so the scheduler sees the diagnostic even when
+  /// an engine's tightened() copy did the poll); the actual /proc read is
+  /// rate-limited by a shared call counter.
+  [[nodiscard]] bool memExceeded() const {
+    if (rssLimit_ == 0 || mem_ == nullptr) return false;
+    if (mem_->hit.load(std::memory_order_relaxed)) return true;
+    if ((mem_->polls.fetch_add(1, std::memory_order_relaxed) %
+         kMemPollStride) != 0)
+      return false;
+    const std::uint64_t rss = obs::currentRssBytes();
+    if (rss > rssLimit_) {
+      mem_->hit.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// True when the ceiling ever tripped on this budget or any copy.
+  [[nodiscard]] bool memLimitHit() const {
+    return mem_ != nullptr && mem_->hit.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t rssLimit() const { return rssLimit_; }
 
   [[nodiscard]] bool nodesExceeded(std::size_t liveNodes) const {
     return nodeLimit_ != 0 && liveNodes > nodeLimit_;
@@ -84,6 +129,15 @@ class Budget {
   [[nodiscard]] const CancelToken* token() const { return cancel_; }
 
  private:
+  static constexpr std::uint64_t kMemPollStride = 64;
+
+  /// Shared across copies (tightened() slices, per-engine copies): one
+  /// problem has ONE ceiling, and one trip stops every engine on it.
+  struct MemState {
+    std::atomic<std::uint64_t> polls{0};
+    std::atomic<bool> hit{false};
+  };
+
   static Clock::duration toDuration(double s) {
     return std::chrono::duration_cast<Clock::duration>(
         std::chrono::duration<double>(s));
@@ -91,7 +145,9 @@ class Budget {
 
   Clock::time_point deadline_ = Clock::time_point::max();
   std::size_t nodeLimit_ = 0;
+  std::size_t rssLimit_ = 0;
   const CancelToken* cancel_ = nullptr;
+  std::shared_ptr<MemState> mem_;
 };
 
 }  // namespace cbq::portfolio

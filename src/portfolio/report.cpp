@@ -155,6 +155,11 @@ void writeJson(const BatchSummary& summary, std::ostream& out,
     out << "\"mem\": {\"peak_rss_mb\": " << rssMb(p.peakRssBytes)
         << ", \"aig_peak_nodes\": " << p.aigPeakNodes
         << ", \"bdd_peak_nodes\": " << p.bddPeakNodes << "}, ";
+    out << "\"robustness\": {\"engine_failures\": " << p.engineFailures
+        << ", \"all_engines_failed\": "
+        << (p.allEnginesFailed ? "true" : "false")
+        << ", \"mem_limit_hit\": " << (p.memLimitHit ? "true" : "false")
+        << ", \"retries\": " << p.retries << "}, ";
     out << "\"engines\": [";
     for (std::size_t j = 0; j < p.runs.size(); ++j) {
       const EngineRun& r = p.runs[j];
@@ -165,6 +170,8 @@ void writeJson(const BatchSummary& summary, std::ostream& out,
           << "\"seconds\": " << jsonNumber(r.seconds) << ", "
           << "\"winner\": " << (r.winner ? "true" : "false") << ", "
           << "\"cancelled\": " << (r.cancelled ? "true" : "false") << ", "
+          << "\"failed\": " << (r.failed ? "true" : "false") << ", "
+          << "\"failure\": \"" << jsonEscape(r.error) << "\", "
           << "\"slices\": " << r.slices << ", "
           << "\"propagations\": " << r.stats.count("sat.propagations")
           << ", "
@@ -192,7 +199,8 @@ void writeCsv(const BatchSummary& summary, std::ostream& out) {
          "prep_coi_seconds,prep_const_seconds,prep_sweep_seconds,"
          "prep_latchcorr_seconds,"
          "propagations,decisions,conflicts,"
-         "peak_rss_mb,aig_peak_nodes,bdd_peak_nodes,error\n";
+         "peak_rss_mb,aig_peak_nodes,bdd_peak_nodes,"
+         "engine_failures,retries,mem_limit_hit,error\n";
   for (const BatchProblemResult& p : summary.problems) {
     // Effort columns aggregate over every engine that ran on the problem.
     std::int64_t props = 0, decs = 0, confs = 0;
@@ -220,7 +228,9 @@ void writeCsv(const BatchSummary& summary, std::ostream& out) {
         << jsonNumber(sweepSec) << ',' << jsonNumber(corrSec) << ','
         << props << ',' << decs << ',' << confs << ','
         << rssMb(p.peakRssBytes) << ',' << p.aigPeakNodes << ','
-        << p.bddPeakNodes << ',' << csvField(p.error) << '\n';
+        << p.bddPeakNodes << ',' << p.engineFailures << ',' << p.retries
+        << ',' << (p.memLimitHit ? 1 : 0) << ',' << csvField(p.error)
+        << '\n';
   }
 }
 

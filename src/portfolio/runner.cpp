@@ -42,8 +42,22 @@ PortfolioResult PortfolioRunner::run(const mc::Network& net) const {
     ownPool = std::make_unique<util::ThreadPool>(opts_.parThreads);
     prepOpts.pool = ownPool.get();
   }
-  prep::PreparedProblem prepared =
-      prep::Pipeline(prepOpts).run(net, Budget(opts_.timeLimitSeconds));
+  // Preprocessing failure containment: a pass blowing up costs us the
+  // reduction, not the problem. Fall back to the identity preparation and
+  // let the engines check the original network.
+  prep::PreparedProblem prepared;
+  try {
+    prepared = prep::Pipeline(prepOpts).run(
+        net, Budget(opts_.timeLimitSeconds)
+                 .withRssLimit(opts_.rssLimitBytes));
+  } catch (...) {
+    prepared = prep::PreparedProblem{};
+    prepared.latchesBefore = net.numLatches();
+    prepared.inputsBefore = net.numInputs();
+    prepared.andsBefore = net.aig.numAnds();
+    prepared.seconds = wall.seconds();
+    prepared.stats.add("portfolio.prep_failures");
+  }
   const mc::Network& problem = prepared.problem(net);
 
   if (opts_.onProgress) {
@@ -127,6 +141,11 @@ void PortfolioRunner::emitResult(const std::string& problemName,
   ev.verdict = mc::toString(res.best.verdict);
   ev.seconds = res.wallSeconds;
   ev.bound = res.best.steps;
+  if (res.allEnginesFailed) {
+    ev.detail = "all engines failed";
+  } else if (res.memLimitHit) {
+    ev.detail = "rss ceiling hit";
+  }
   opts_.onProgress(ev);
 }
 
@@ -140,30 +159,70 @@ PortfolioResult PortfolioRunner::runRace(const mc::Network& net,
 
   // Engine-manager const reads stamp mutable scratch arenas, so every
   // racing thread owns a private clone, built sequentially up front.
+  // Cloning is pre-engine but still engine-layer work (AIG growth): a
+  // blow-up here degrades the whole problem to Unknown, never aborts.
   std::vector<mc::Network> clones;
   clones.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) clones.push_back(mc::cloneNetwork(net));
+  try {
+    for (std::size_t i = 0; i < n; ++i)
+      clones.push_back(mc::cloneNetwork(net));
+  } catch (...) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out.runs[i].engine = opts.engines[i];
+      out.runs[i].failed = true;
+      out.runs[i].error = "network clone failed";
+    }
+    out.engineFailures = static_cast<int>(n);
+    out.allEnginesFailed = true;
+    out.best.engine = "portfolio";
+    out.best.verdict = mc::Verdict::Unknown;
+    out.best.stats.add("portfolio.all_engines_failed");
+    out.best.stats.add("portfolio.engine_failures", out.engineFailures);
+    out.wallSeconds = wall.seconds();
+    out.best.seconds = out.wallSeconds;
+    return out;
+  }
 
   CancelToken token;
-  const Budget budget(opts.timeLimitSeconds, opts.nodeLimit, &token);
+  Budget budget(opts.timeLimitSeconds, opts.nodeLimit, &token);
+  budget.withRssLimit(opts.rssLimitBytes);
 
   std::mutex mu;
   int winnerIdx = -1;
   std::vector<mc::CheckResult> results(n);
   std::vector<char> wasCancelled(n, 0);
+  std::vector<std::string> failures(n);  ///< non-empty = engine threw
 
   auto worker = [&](std::size_t i) {
     obs::setThreadLabel("race " + opts.engines[i]);
     auto engine = mc::makeEngine(opts.engines[i]);
     mc::CheckResult res;
+    // The exception barrier: an engine blowing up (BDD allocation, an
+    // injected fault, even a non-std::exception throw) is quarantined
+    // here — the thread reports Unknown and the rivals race on.
+    std::string failure;
     try {
       CBQ_OBS_SPAN("sched", opts.engines[i]);
       res = engine->check(clones[i], budget);
-    } catch (const std::exception&) {
-      // An engine blowing up (e.g. BDD allocation) must not kill the race.
+    } catch (const std::exception& e) {
+      failure = e.what();
+      if (failure.empty()) failure = "unknown std::exception";
+    } catch (...) {
+      failure = "non-standard exception";
+    }
+    if (!failure.empty()) {
+      res = mc::CheckResult{};
       res.engine = opts.engines[i];
       res.verdict = mc::Verdict::Unknown;
-      res.stats.add("portfolio.engine_exceptions");
+      res.stats.add("portfolio.engine_failures");
+      if (opts.onProgress) {
+        obs::ProgressEvent ev;
+        ev.kind = "engine-failure";
+        ev.problem = net.name;
+        ev.engine = opts.engines[i];
+        ev.detail = failure;
+        opts.onProgress(ev);
+      }
     }
 
     bool definitive = res.verdict != mc::Verdict::Unknown;
@@ -198,6 +257,7 @@ PortfolioResult PortfolioRunner::runRace(const mc::Network& net,
       }
       results[i] = std::move(res);
       wasCancelled[i] = !definitive && tokenFiredBeforeReturn;
+      failures[i] = std::move(failure);
     }
   };
 
@@ -222,8 +282,13 @@ PortfolioResult PortfolioRunner::runRace(const mc::Network& net,
     run.winner = static_cast<int>(i) == winnerIdx;
     run.cancelled = wasCancelled[i] != 0;
     run.slices = 1;  // race mode: one uninterrupted run per engine
+    run.failed = !failures[i].empty();
+    run.error = failures[i];
     run.stats = results[i].stats;
+    if (run.failed) ++out.engineFailures;
   }
+  out.allEnginesFailed = out.engineFailures == static_cast<int>(n) && n > 0;
+  out.memLimitHit = budget.memLimitHit();
 
   if (winnerIdx >= 0) {
     out.best = std::move(results[static_cast<std::size_t>(winnerIdx)]);
@@ -237,7 +302,12 @@ PortfolioResult PortfolioRunner::runRace(const mc::Network& net,
   } else {
     out.best.engine = "portfolio";
     out.best.verdict = mc::Verdict::Unknown;
+    if (out.allEnginesFailed)
+      out.best.stats.add("portfolio.all_engines_failed");
   }
+  if (out.engineFailures > 0)
+    out.best.stats.add("portfolio.engine_failures", out.engineFailures);
+  if (out.memLimitHit) out.best.stats.add("portfolio.mem_limit_hits");
   out.wallSeconds = wall.seconds();
   out.best.seconds = out.wallSeconds;
   return out;

@@ -32,6 +32,11 @@ struct PortfolioOptions {
   std::vector<std::string> engines;
   double timeLimitSeconds = 0.0;  ///< whole-problem wall budget (0 = none)
   std::size_t nodeLimit = 0;      ///< per-engine live-node bound (0 = none)
+  /// Soft per-problem RSS ceiling in bytes (0 = none): when the process
+  /// crosses it, every engine on the problem bails out to Unknown through
+  /// the cooperative budget path instead of riding into the OOM killer
+  /// (Budget::withRssLimit has the precise semantics).
+  std::size_t rssLimitBytes = 0;
   /// Replay an Unsafe winner's counterexample before accepting it; a
   /// failing replay demotes the verdict to Unknown (the engine keeps
   /// racing rivals instead of poisoning the result).
@@ -73,6 +78,11 @@ struct EngineRun {
   bool winner = false;
   bool cancelled = false;  ///< lost the race (token fired before it finished)
   int slices = 0;          ///< resume() slices granted (slice mode; race: 1)
+  /// The engine threw (any exception type) and was quarantined: removed
+  /// from the race/rotation while the survivors kept running. Its verdict
+  /// stays Unknown and `error` records what escaped.
+  bool failed = false;
+  std::string error;
   obs::Metrics stats;
 };
 
@@ -97,6 +107,13 @@ struct PortfolioResult {
   std::vector<EngineRun> runs;  ///< one per engine, in engine-set order
   PrepSummary prep;             ///< preprocessing shrink record
   double wallSeconds = 0.0;
+  /// Containment diagnostics: how many engines threw and were
+  /// quarantined (== runs with failed set), and whether the soft RSS
+  /// ceiling tripped during this problem. When every engine failed the
+  /// verdict is Unknown and allEnginesFailed is the reason.
+  int engineFailures = 0;
+  bool allEnginesFailed = false;
+  bool memLimitHit = false;
 
   [[nodiscard]] const EngineRun* winner() const {
     for (const EngineRun& r : runs)

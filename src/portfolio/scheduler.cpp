@@ -4,6 +4,7 @@
 #include <atomic>
 #include <filesystem>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -67,6 +68,15 @@ BatchSummary BatchScheduler::run(
 
   const PortfolioRunner runner(opts_.portfolio);  // validates engine names
 
+  // Retry attempts may switch to a fallback engine set; build (and
+  // validate) that runner once up front, not per problem.
+  std::optional<PortfolioRunner> fallback;
+  if (!opts_.fallbackEngines.empty()) {
+    PortfolioOptions fo = opts_.portfolio;
+    fo.engines = opts_.fallbackEngines;
+    fallback.emplace(std::move(fo));
+  }
+
   std::atomic<std::size_t> cursor{0};
   std::mutex reportMu;
 
@@ -78,7 +88,8 @@ BatchSummary BatchScheduler::run(
     r.path = job.path;
 
     // One problem's failure — parse error, allocation failure, thread
-    // exhaustion inside the race — must never take down the batch: an
+    // exhaustion inside the race, even a non-std::exception throw — must
+    // never take down the batch or lose the other workers' results: an
     // exception escaping a std::thread body would terminate the process.
     try {
       const mc::Network* net = nullptr;
@@ -86,34 +97,81 @@ BatchSummary BatchScheduler::run(
       if (job.net.has_value()) {
         net = &*job.net;
       } else {
+        // Load in its own scope: parse errors are deterministic, land in
+        // r.error, and are never retried (unlike engine failures below).
         loaded = circuits::readCircuitFile(job.path);
         net = &loaded;
       }
       r.latches = net->numLatches();
       r.inputs = net->numInputs();
       r.ands = net->aig.numAnds();
-      PortfolioResult pr = runner.run(*net);
-      r.verdict = pr.best.verdict;
-      r.steps = pr.best.steps;
-      r.seconds = pr.wallSeconds;
-      if (const EngineRun* w = pr.winner()) {
-        r.winnerEngine = w->engine;
-      } else if (pr.prep.decided) {
-        r.winnerEngine = "prep";
+
+      for (int attempt = 0;; ++attempt) {
+        // First attempt uses the configured portfolio; retries switch to
+        // the fallback set when one is configured. Every attempt opens
+        // fresh sessions, so a transient blow-up is actually retried
+        // rather than resumed.
+        const PortfolioRunner& active =
+            (attempt > 0 && fallback.has_value()) ? *fallback : runner;
+        PortfolioResult pr;
+        std::string thrown;
+        try {
+          pr = active.run(*net);
+        } catch (const std::exception& e) {
+          thrown = e.what();
+          if (thrown.empty()) thrown = "unknown std::exception";
+        } catch (...) {
+          thrown = "non-standard exception";
+        }
+        if (!thrown.empty()) {
+          // Engine-layer blow-up that escaped the runner's own barriers.
+          r.verdict = mc::Verdict::Unknown;
+          r.allEnginesFailed = true;
+          if (attempt < opts_.retries) {
+            r.retries = attempt + 1;
+            continue;
+          }
+          r.error = thrown;
+          break;
+        }
+        r.verdict = pr.best.verdict;
+        r.steps = pr.best.steps;
+        r.seconds += pr.wallSeconds;  // retries bill to the same problem
+        if (const EngineRun* w = pr.winner()) {
+          r.winnerEngine = w->engine;
+        } else if (pr.prep.decided) {
+          r.winnerEngine = "prep";
+        }
+        r.prep = std::move(pr.prep);
+        r.runs = std::move(pr.runs);
+        r.engineFailures = pr.engineFailures;
+        r.allEnginesFailed = pr.allEnginesFailed;
+        r.memLimitHit = pr.memLimitHit;
+        r.peakRssBytes = obs::peakRssBytes();
+        auto peakOf = [&](const char* name) {
+          double peak = pr.best.stats.gauge(name);
+          for (const EngineRun& er : r.runs)
+            peak = std::max(peak, er.stats.gauge(name));
+          return static_cast<std::uint64_t>(std::max(0.0, peak));
+        };
+        r.aigPeakNodes = peakOf("mem.aig_peak_nodes");
+        r.bddPeakNodes = peakOf("bdd.peak_nodes");
+
+        // Retry only failure-driven Unknowns: a definitive verdict or an
+        // honest budget-exhausted Unknown is final.
+        const bool failureDriven =
+            r.verdict == mc::Verdict::Unknown && r.engineFailures > 0;
+        if (failureDriven && attempt < opts_.retries) {
+          r.retries = attempt + 1;
+          continue;
+        }
+        break;
       }
-      r.prep = std::move(pr.prep);
-      r.runs = std::move(pr.runs);
-      r.peakRssBytes = obs::peakRssBytes();
-      auto peakOf = [&](const char* name) {
-        double peak = pr.best.stats.gauge(name);
-        for (const EngineRun& er : r.runs)
-          peak = std::max(peak, er.stats.gauge(name));
-        return static_cast<std::uint64_t>(std::max(0.0, peak));
-      };
-      r.aigPeakNodes = peakOf("mem.aig_peak_nodes");
-      r.bddPeakNodes = peakOf("bdd.peak_nodes");
     } catch (const std::exception& e) {
       r.error = e.what();
+      r.verdict = mc::Verdict::Unknown;
+    } catch (...) {
+      r.error = "non-standard exception";
       r.verdict = mc::Verdict::Unknown;
     }
     summary.problems[i] = std::move(r);

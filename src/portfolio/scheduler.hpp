@@ -29,6 +29,15 @@ struct BatchProblem {
 struct BatchOptions {
   PortfolioOptions portfolio{};
   int jobs = 0;  ///< worker threads; <= 0 means hardware concurrency
+  /// Bounded retries for problems whose Unknown came from engine failures
+  /// (not from parse errors or honest budget exhaustion — those are
+  /// deterministic and retrying is wasted work). Each retry runs fresh
+  /// sessions; a transient blow-up gets a second chance.
+  int retries = 0;
+  /// Engine set for retry attempts (empty = same set again). Lets a batch
+  /// fall back to a conservative portfolio when the first-choice engines
+  /// crashed on a problem.
+  std::vector<std::string> fallbackEngines;
 };
 
 /// Per-problem outcome, in input order.
@@ -44,6 +53,15 @@ struct BatchProblemResult {
   std::string error;  ///< parse/load failure; verdict stays Unknown
   PrepSummary prep;   ///< what preprocessing removed (runner.hpp)
   std::vector<EngineRun> runs;
+
+  // Containment diagnostics (the last attempt's): how many engines threw
+  // and were quarantined, whether every engine failed (the only way a
+  // failure reaches the verdict, as Unknown), whether the soft RSS
+  // ceiling tripped, and how many retry attempts the scheduler spent.
+  int engineFailures = 0;
+  bool allEnginesFailed = false;
+  bool memLimitHit = false;
+  int retries = 0;
 
   // Memory high-water marks, sampled when the problem finished. Peak RSS
   // is process-wide (monotone across the batch); the node peaks are this

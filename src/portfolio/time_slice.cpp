@@ -25,6 +25,7 @@ struct Slot {
   int slices = 0;
   bool finished = false;   ///< session reported done (or blew up)
   bool threw = false;      ///< engine exception; verdict stays Unknown
+  std::string error;       ///< what escaped (threw only)
 };
 
 }  // namespace
@@ -53,13 +54,34 @@ PortfolioResult TimeSliceScheduler::run(const mc::Network& net) const {
   // Engine-manager const reads stamp mutable scratch arenas, so every
   // session owns a private clone, built sequentially up front. (A slice
   // worker only touches a clone while holding that session's queue slot,
-  // so the clone also serves cross-thread session migration.)
+  // so the clone also serves cross-thread session migration.) Cloning is
+  // pre-engine but still engine-layer work (AIG growth): a blow-up here
+  // degrades the whole problem to Unknown, never aborts.
   std::vector<mc::Network> clones;
   clones.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) clones.push_back(mc::cloneNetwork(net));
+  try {
+    for (std::size_t i = 0; i < n; ++i)
+      clones.push_back(mc::cloneNetwork(net));
+  } catch (...) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out.runs[i].engine = opts_.engines[i];
+      out.runs[i].failed = true;
+      out.runs[i].error = "network clone failed";
+    }
+    out.engineFailures = static_cast<int>(n);
+    out.allEnginesFailed = true;
+    out.best.engine = "portfolio";
+    out.best.verdict = mc::Verdict::Unknown;
+    out.best.stats.add("portfolio.all_engines_failed");
+    out.best.stats.add("portfolio.engine_failures", out.engineFailures);
+    out.wallSeconds = wall.seconds();
+    out.best.seconds = out.wallSeconds;
+    return out;
+  }
 
   CancelToken token;
-  const Budget outer(opts_.timeLimitSeconds, opts_.nodeLimit, &token);
+  Budget outer(opts_.timeLimitSeconds, opts_.nodeLimit, &token);
+  outer.withRssLimit(opts_.rssLimitBytes);
 
   std::vector<Slot> slots(n);
   std::deque<std::size_t> ready;
@@ -93,6 +115,10 @@ PortfolioResult TimeSliceScheduler::run(const mc::Network& net) const {
 
       mc::Progress p;
       bool threw = false;
+      std::string error;
+      // The exception barrier: a session blowing up mid-slice (organic
+      // failure, injected fault, even a foreign exception type) is
+      // quarantined — the slot leaves the rotation, the rotation goes on.
       try {
         CBQ_OBS_SPAN("sched", opts_.engines[i]);
         if (!slot.session)
@@ -100,9 +126,21 @@ PortfolioResult TimeSliceScheduler::run(const mc::Network& net) const {
         // The slice: the whole-problem budget (token + deadline + node
         // limit) tightened to this session's current slice length.
         p = slot.session->resume(outer.tightened(slot.sliceSeconds));
-      } catch (const std::exception&) {
-        // An engine blowing up must not kill the schedule.
+      } catch (const std::exception& e) {
         threw = true;
+        error = e.what();
+        if (error.empty()) error = "unknown std::exception";
+      } catch (...) {
+        threw = true;
+        error = "non-standard exception";
+      }
+      if (threw && opts_.onProgress) {
+        obs::ProgressEvent ev;
+        ev.kind = "engine-failure";
+        ev.problem = net.name;
+        ev.engine = opts_.engines[i];
+        ev.detail = error;
+        opts_.onProgress(ev);
       }
       if (!threw && opts_.onProgress) {
         obs::ProgressEvent ev;
@@ -132,9 +170,13 @@ PortfolioResult TimeSliceScheduler::run(const mc::Network& net) const {
       schedStats.add("sched.slice_grants");
       if (!threw) schedStats.observe("sched.slice_seconds", p.sliceSeconds);
       if (threw) {
+        // Quarantine: the slot never re-enters the ready queue, so the
+        // survivors keep the schedule; its verdict stays Unknown.
         slot.finished = true;
         slot.threw = true;
-        slot.last.result.stats.add("portfolio.engine_exceptions");
+        slot.error = std::move(error);
+        slot.last.result.stats.add("portfolio.engine_failures");
+        schedStats.add("sched.quarantines");
       } else {
         const int boundDelta = p.bound - slot.last.bound;
         slot.last = std::move(p);
@@ -201,9 +243,14 @@ PortfolioResult TimeSliceScheduler::run(const mc::Network& net) const {
     run.winner = static_cast<int>(i) == winnerIdx;
     run.cancelled = !slot.finished && winnerIdx >= 0;
     run.slices = slot.slices;
+    run.failed = slot.threw;
+    run.error = slot.error;
     run.stats = slot.last.result.stats;
     if (run.cancelled) schedStats.add("sched.cancellations");
+    if (run.failed) ++out.engineFailures;
   }
+  out.allEnginesFailed = out.engineFailures == static_cast<int>(n) && n > 0;
+  out.memLimitHit = outer.memLimitHit();
 
   if (winnerIdx >= 0) {
     out.best =
@@ -218,7 +265,12 @@ PortfolioResult TimeSliceScheduler::run(const mc::Network& net) const {
   } else {
     out.best.engine = "portfolio";
     out.best.verdict = mc::Verdict::Unknown;
+    if (out.allEnginesFailed)
+      out.best.stats.add("portfolio.all_engines_failed");
   }
+  if (out.engineFailures > 0)
+    out.best.stats.add("portfolio.engine_failures", out.engineFailures);
+  if (out.memLimitHit) out.best.stats.add("portfolio.mem_limit_hits");
   out.best.stats.merge(schedStats);
   out.wallSeconds = wall.seconds();
   out.best.seconds = out.wallSeconds;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/tracer.hpp"
+#include "util/fault.hpp"
 #include "util/timer.hpp"
 
 namespace cbq::prep {
@@ -47,6 +48,9 @@ PreparedProblem Pipeline::run(const mc::Network& net,
   };
   auto runPass = [&](const PassSpec& spec) -> bool {
     CBQ_OBS_SPAN("prep", spec.name);
+    // Injection site: a pass blowing up must make the portfolio fall
+    // back to checking the original network, not sink the problem.
+    CBQ_FAULT_POINT("prep.pass");
     util::Timer passTimer;
     PassStats ps;
     ps.pass = spec.name;

@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "obs/tracer.hpp"
+#include "util/fault.hpp"
 
 namespace cbq::sat {
 
@@ -547,6 +548,11 @@ Status Solver::solve(std::span<const Lit> assumptions) {
 Status Solver::solveLimited(std::span<const Lit> assumptions,
                             std::int64_t conflictBudget) {
   CBQ_OBS_SPAN("sat", "solve");
+  // Injection site: throw-mode blows up the solve (containment testing);
+  // fail-mode reports Undef through the normal inconclusive path, which
+  // callers must already handle (budget exhaustion looks identical).
+  CBQ_FAULT_POINT("sat.solve");
+  if (CBQ_FAULT_FAIL("sat.solve")) return Status::Undef;
   conflictCore_.clear();
   if (!ok_) return Status::Unsat;
   assumptions_.assign(assumptions.begin(), assumptions.end());

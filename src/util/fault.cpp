@@ -1,0 +1,187 @@
+#include "util/fault.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <thread>
+
+namespace cbq::util {
+
+std::atomic<bool> FaultInjector::armed_{false};
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+const std::vector<std::string>& FaultInjector::knownSites() {
+  static const std::vector<std::string> sites = {
+      "bdd.alloc",     // BDD unique-table node allocation
+      "sat.solve",     // SAT solve entry (fail -> Undef)
+      "aig.grow",      // AIG node-space growth
+      "io.read_chunk", // binary AIGER chunk refill (fail -> truncation)
+      "engine.resume", // Session::resume dispatch
+      "prep.pass",     // preprocessing pass entry
+  };
+  return sites;
+}
+
+bool FaultInjector::arm(const std::string& spec, std::string* error) {
+  auto failWith = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg + " in '" + spec + "'";
+    return false;
+  };
+  FaultSpec out;
+  std::stringstream ss(spec);
+  std::string part;
+  if (!std::getline(ss, part, ':') || part.empty())
+    return failWith("missing site name");
+  out.site = part;
+  while (std::getline(ss, part, ':')) {
+    if (part.empty()) continue;
+    if (part == "throw") {
+      out.mode = FaultMode::Throw;
+    } else if (part == "fail") {
+      out.mode = FaultMode::Fail;
+    } else if (part == "stall") {
+      out.mode = FaultMode::Stall;
+    } else if (part == "oom") {
+      out.mode = FaultMode::Oom;
+    } else if (part == "nonstd") {
+      out.mode = FaultMode::NonStd;
+    } else if (part.rfind("prob=", 0) == 0) {
+      char* end = nullptr;
+      out.prob = std::strtod(part.c_str() + 5, &end);
+      if (end == part.c_str() + 5 || *end != '\0' || out.prob <= 0.0 ||
+          out.prob > 1.0)
+        return failWith("bad probability");
+    } else if (part.rfind("stall=", 0) == 0) {
+      out.stallMs = std::atoi(part.c_str() + 6);
+      if (out.stallMs <= 0) return failWith("bad stall duration");
+    } else if (part.rfind("nth=", 0) == 0 ||
+               (part[0] >= '0' && part[0] <= '9')) {
+      const char* digits =
+          part.rfind("nth=", 0) == 0 ? part.c_str() + 4 : part.c_str();
+      char* end = nullptr;
+      out.nth = std::strtoull(digits, &end, 10);
+      if (end == digits || *end != '\0' || out.nth == 0)
+        return failWith("bad hit count");
+    } else {
+      return failWith("unknown token '" + part + "'");
+    }
+  }
+  armSpec(std::move(out));
+  return true;
+}
+
+void FaultInjector::armSpec(FaultSpec spec) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto armed = std::make_unique<Armed>();
+  armed->spec = std::move(spec);
+  sites_.push_back(std::move(armed));
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::seed(std::uint64_t s) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  rngState_ = s ^ 0x9e3779b97f4a7c15ull;
+}
+
+void FaultInjector::disarm() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_release);
+  sites_.clear();
+}
+
+bool FaultInjector::fires(Armed& a) {
+  const std::uint64_t hit =
+      a.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  bool fire = false;
+  if (a.spec.prob > 0.0) {
+    // splitmix64 under the injector lock: deterministic for a fixed seed
+    // and hit sequence (concurrent hitters make the interleaving — not
+    // the marginal rate — nondeterministic, which a soak accepts).
+    const std::lock_guard<std::mutex> lock(mu_);
+    rngState_ += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = rngState_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    fire = static_cast<double>(z >> 11) * 0x1.0p-53 < a.spec.prob;
+  } else {
+    fire = hit == a.spec.nth;
+  }
+  if (fire) a.fires.fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+void FaultInjector::fire(const Armed& a, const char* site) {
+  switch (a.spec.mode) {
+    case FaultMode::Throw:
+      throw InjectedFault(site);
+    case FaultMode::Oom:
+      throw std::bad_alloc();
+    case FaultMode::NonStd:
+      throw 42;  // NOLINT: exercising catch (...) barriers is the point
+    case FaultMode::Stall: {
+      // Bounded, sliced sleep: a stalled engine must still be preemptible
+      // by wall-clock budgets once it wakes, and the total stall is
+      // capped so a fault schedule can never hang a run forever.
+      const auto until = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(a.spec.stallMs);
+      while (std::chrono::steady_clock::now() < until)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      break;
+    }
+    case FaultMode::Fail:
+      break;  // fail-mode only answers shouldFail()
+  }
+}
+
+void FaultInjector::hit(const char* site) {
+  // Snapshot under the lock, act outside it: fire() may sleep or throw.
+  Armed* match = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& a : sites_)
+      if (a->spec.mode != FaultMode::Fail && a->spec.site == site) {
+        match = a.get();
+        break;
+      }
+  }
+  if (match != nullptr && fires(*match)) fire(*match, site);
+}
+
+bool FaultInjector::shouldFail(const char* site) {
+  Armed* match = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& a : sites_)
+      if (a->spec.mode == FaultMode::Fail && a->spec.site == site) {
+        match = a.get();
+        break;
+      }
+  }
+  return match != nullptr && fires(*match);
+}
+
+std::uint64_t FaultInjector::fireCount() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& a : sites_)
+    total += a->fires.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::vector<FaultSiteStats> FaultInjector::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FaultSiteStats> out;
+  out.reserve(sites_.size());
+  for (const auto& a : sites_)
+    out.push_back({a->spec.site, a->hits.load(std::memory_order_relaxed),
+                   a->fires.load(std::memory_order_relaxed)});
+  return out;
+}
+
+}  // namespace cbq::util

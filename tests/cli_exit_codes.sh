@@ -41,6 +41,37 @@ expect 1 "$CBQ" check "$TMP/safe.aag" --engine no-such-engine
 expect 1 "$CBQ" check "$TMP/safe.aag" --prep bogus-pass
 expect 1 "$CBQ" check "$TMP/safe.aag" --schedule bogus
 
+# The whole malformed-input corpus: every file is a clean exit-1 parse
+# error — never a crash (which would surface as exit >= 128).
+CORPUS="$(dirname "$0")/corpus"
+if [ -d "$CORPUS" ]; then
+  for f in "$CORPUS"/*.aag "$CORPUS"/*.aig "$CORPUS"/*.bench; do
+    [ -e "$f" ] || continue
+    expect 1 "$CBQ" check "$f"
+  done
+fi
+
+# Injected faults must degrade, not abort: exit 20 (UNKNOWN), not a
+# crash. A CBQ_FAULTS=OFF build ignores --inject with a warning and
+# legitimately proves the instance (exit 0).
+inject_out="$("$CBQ" check "$TMP/safe.aag" \
+  --inject 'engine.resume:prob=1.0:throw' --timeout 60 2>&1)"
+got=$?
+case "$inject_out" in
+  *"CBQ_FAULTS=OFF"*)
+    [ "$got" -eq 0 ] || {
+      echo "FAIL: faults-off build exited $got on --inject"
+      fails=$((fails + 1))
+    }
+    ;;
+  *)
+    [ "$got" -eq 20 ] || {
+      echo "FAIL: all-engines-faulted check exited $got, expected 20"
+      fails=$((fails + 1))
+    }
+    ;;
+esac
+
 # Parse errors must name the offending line (satellite: line-numbered
 # diagnostics).
 msg="$("$CBQ" check "$TMP/broken.aag" 2>&1)"
