@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "audit/audit.hpp"
 #include "circuits/io.hpp"
 #include "circuits/suite.hpp"
 #include "mc/engines.hpp"
@@ -65,6 +66,8 @@ struct Args {
   int parThreads = 1;  // intra-problem lanes (prep + signature layer)
   bool unsafe = false;
   bool quiet = false;
+  bool audit = false;          // --audit: arm invariant audits (exit 30)
+  std::string auditSelftest;   // --audit-selftest: seed a known corruption
   bool smoke = false;
   bool progress = false;  // NDJSON progress events on stderr
   std::string engine;
@@ -308,6 +311,12 @@ bool parseArgs(int argc, char** argv, int first, Args& args) {
       const char* v = value("--trace");
       if (!v) return false;
       args.tracePath = v;
+    } else if (a == "--audit") {
+      args.audit = true;
+    } else if (a == "--audit-selftest") {
+      const char* v = value("--audit-selftest");
+      if (!v) return false;
+      args.auditSelftest = v;
     } else if (a == "--progress") {
       args.progress = true;
     } else if (a == "--smoke") {
@@ -347,7 +356,13 @@ int usage() {
       "      are bit-identical at any N). --trace FILE records a Chrome\n"
       "      trace-event profile (chrome://tracing / Perfetto); --progress\n"
       "      streams NDJSON progress events on stderr.\n"
-      "      exit codes: 0 SAFE, 10 UNSAFE, 20 UNKNOWN, 1 usage/IO error\n"
+      "      --audit runs the deep-invariant auditor on the loaded circuit\n"
+      "      and arms the phase-boundary audit hooks (active in\n"
+      "      -DCBQ_AUDIT=ON builds; the explicit pre-run audit works in\n"
+      "      every build). --audit-selftest CLASS (strash|epoch|latch)\n"
+      "      seeds a known corruption first, to exercise the exit path.\n"
+      "      exit codes: 0 SAFE, 10 UNSAFE, 20 UNKNOWN, 1 usage/IO error,\n"
+      "      30 audit violation (only with --audit)\n"
       "  cbq batch <dir-or-files...> [--jobs N] [--engines A,B,C]\n"
       "            [--timeout S] [--node-limit N] [--schedule race|slice]\n"
       "            [--prep ...] [--par-threads N] [--json F] [--csv F]\n"
@@ -436,6 +451,29 @@ int cmdCheck(const Args& args) {
               net.name.c_str(), net.numLatches(), net.numInputs(),
               net.aig.numAnds());
 
+  // --audit: arm the phase-boundary hooks and audit the loaded circuit up
+  // front; --audit-selftest seeds a known corruption first so scripts can
+  // verify the dedicated exit code end to end.
+  const bool auditing = args.audit || !args.auditSelftest.empty();
+  if (!args.auditSelftest.empty()) {
+    if (!cbq::audit::selftestCorrupt(net, args.auditSelftest)) {
+      std::string known;
+      for (const auto& c : cbq::audit::selftestClasses())
+        known += (known.empty() ? "" : "|") + c;
+      std::fprintf(stderr, "cbq: --audit-selftest %s failed (classes: %s)\n",
+                   args.auditSelftest.c_str(), known.c_str());
+      return 1;
+    }
+  }
+  if (auditing) {
+    cbq::audit::setArmed(true);
+    if (const auto rep = cbq::audit::auditNetwork(net); !rep.ok()) {
+      std::fprintf(stderr, "cbq: audit violation at load: %s\n",
+                   rep.summary().c_str());
+      return 30;
+    }
+  }
+
   cbq::portfolio::PortfolioOptions opts;
   if (!args.engine.empty()) {
     opts.engines = {args.engine};
@@ -476,6 +514,11 @@ int cmdCheck(const Args& args) {
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "cbq: %s\n", e.what());
     return 1;
+  } catch (const cbq::audit::AuditError& e) {
+    // A hook fired on the caller thread (prep containment re-raises it
+    // deliberately): the dedicated audit exit code, not a degradation.
+    std::fprintf(stderr, "cbq: %s\n", e.what());
+    return 30;
   } catch (const std::exception& e) {
     // Engine-layer failure that escaped every barrier: graceful
     // degradation means UNKNOWN (20), never a crash or a usage error.
@@ -518,6 +561,18 @@ int cmdCheck(const Args& args) {
   }
   if (res.memLimitHit)
     std::printf("containment: soft RSS ceiling hit; engines bailed out\n");
+  if (auditing) {
+    // Audit hooks firing inside engine threads are quarantined by the
+    // containment barriers; surface them as the audit exit code instead
+    // of letting the run pass for a mere engine failure.
+    for (const auto& r : res.runs) {
+      if (r.failed && r.error.rfind("audit violation", 0) == 0) {
+        std::fprintf(stderr, "cbq: %s (engine %s)\n", r.error.c_str(),
+                     r.engine.c_str());
+        return 30;
+      }
+    }
+  }
   if (!args.inject.empty()) printFaultStats();
   const auto* winner = res.winner();
   std::printf("verdict: %s (%s, %.3fs wall)\n",

@@ -33,6 +33,10 @@
 #include "aig/strash.hpp"
 #include "util/var_table.hpp"
 
+namespace cbq::audit {
+struct Access;
+}
+
 namespace cbq::aig {
 
 /// Identifier of an external variable (primary input), stable across
@@ -241,6 +245,10 @@ class Aig {
                                 std::vector<std::pair<NodeId, Lit>>& outMap);
 
  private:
+  /// Introspection seam for the deep-invariant auditor and its
+  /// corruption-injection tests (audit/audit.hpp) — never production code.
+  friend struct ::cbq::audit::Access;
+
   static constexpr Lit kPiMark = Lit::fromRaw(0xffffffffu);
 
   NodeId newNode(Lit f0, Lit f1, std::uint32_t level);

@@ -14,6 +14,10 @@
 
 #include "aig/lit.hpp"
 
+namespace cbq::audit {
+struct Access;
+}
+
 namespace cbq::aig {
 
 /// Epoch-stamped NodeId→Lit memo owned by the manager and reused across
@@ -59,6 +63,7 @@ class ScratchMemo {
   void forceEpochForTest(std::uint32_t e) { epoch_ = e; }
 
  private:
+  friend struct ::cbq::audit::Access;
   std::vector<std::uint32_t> stamp_;
   std::vector<Lit> val_;
   std::uint32_t epoch_ = 0;  // first reset() moves to 1

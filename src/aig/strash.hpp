@@ -12,10 +12,21 @@
 
 #include "aig/lit.hpp"
 
+namespace cbq::audit {
+struct Access;
+}
+
 namespace cbq::aig {
 
 class StrashTable {
  public:
+  /// One open-addressed slot; public so the invariant auditor can walk
+  /// (and its tests corrupt) the table through audit::Access.
+  struct Entry {
+    std::uint64_t key;
+    NodeId id;  // 0 = empty slot
+  };
+
   explicit StrashTable(std::size_t initialCapacity = 1024) {
     std::size_t cap = 16;
     while (cap < initialCapacity) cap <<= 1;
@@ -51,10 +62,7 @@ class StrashTable {
   [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
 
  private:
-  struct Entry {
-    std::uint64_t key;
-    NodeId id;  // 0 = empty slot
-  };
+  friend struct ::cbq::audit::Access;
 
   /// splitmix64 finalizer: full-avalanche mix of the packed pair.
   static std::uint64_t mix(std::uint64_t x) {

@@ -17,6 +17,10 @@
 #include "sat/solver.hpp"
 #include "util/var_table.hpp"
 
+namespace cbq::audit {
+struct Access;
+}
+
 namespace cbq::cnf {
 
 /// Binds an AIG manager to a SAT solver and encodes cones on demand.
@@ -57,6 +61,8 @@ class AigCnf {
       void* ctx) const;
 
  private:
+  friend struct ::cbq::audit::Access;
+
   sat::Var varForNode(aig::NodeId n);
 
   const aig::Aig* aig_;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "audit/audit.hpp"
 #include "cnf/aig_cnf.hpp"
 #include "obs/tracer.hpp"
 #include "sat/solver.hpp"
@@ -179,6 +180,11 @@ void BackwardReachSession::maybeCompact() {
   for (std::size_t i = 0; i < net_->stateVars.size(); ++i)
     subst_.emplace_back(net_->stateVars[i], nextL_[i]);
   session_.rebindRemapped(mgr_, xfer);
+  // The compacted manager plus the sweep session's rebuilt CNF binding —
+  // a dangling literal-map entry here would poison every later query.
+  CBQ_AUDIT_CHECK("reach.compact", audit::auditAig(mgr_));
+  CBQ_AUDIT_CHECK("reach.compact.session",
+                  audit::auditSweepContext(session_, mgr_));
   res_.stats.add("reach.compactions");
 }
 
@@ -188,6 +194,13 @@ Progress BackwardReachSession::doResume(const portfolio::Budget& budget) {
   curBud_ = &*bud;
   Progress p = run(*bud);
   curBud_ = nullptr;
+  // Session pause: everything the next resume rebuilds from — the
+  // manager and both persistent SAT sessions — must be coherent now.
+  CBQ_AUDIT_CHECK("reach.pause", audit::auditAig(mgr_));
+  CBQ_AUDIT_CHECK("reach.pause.session",
+                  audit::auditSweepContext(session_, mgr_));
+  CBQ_AUDIT_CHECK("reach.pause.fix-session",
+                  audit::auditSweepContext(fixSession_, mgr_));
   return p;
 }
 

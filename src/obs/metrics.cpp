@@ -57,7 +57,10 @@ void Metrics::Histogram::merge(const Histogram& other) {
 }
 
 Metrics::Metrics(const Metrics& other) {
-  const std::lock_guard<std::mutex> lock(other.mu_);
+  // Locking our own (uncontended, under-construction) mutex keeps the
+  // guarded-member writes visible to the static analysis.
+  const util::MutexLock lockOther(other.mu_);
+  const util::MutexLock lock(mu_);
   counters_ = other.counters_;
   gauges_ = other.gauges_;
   histograms_ = other.histograms_;
@@ -71,12 +74,12 @@ Metrics& Metrics::operator=(const Metrics& other) {
   std::map<std::string, double> g;
   std::map<std::string, Histogram> h;
   {
-    const std::lock_guard<std::mutex> lock(other.mu_);
+    const util::MutexLock lock(other.mu_);
     c = other.counters_;
     g = other.gauges_;
     h = other.histograms_;
   }
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   counters_ = std::move(c);
   gauges_ = std::move(g);
   histograms_ = std::move(h);
@@ -84,40 +87,40 @@ Metrics& Metrics::operator=(const Metrics& other) {
 }
 
 void Metrics::add(const std::string& name, std::int64_t delta) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   counters_[name] += delta;
 }
 
 void Metrics::set(const std::string& name, double value) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   gauges_[name] = value;
 }
 
 void Metrics::high(const std::string& name, double value) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   auto [it, inserted] = gauges_.emplace(name, value);
   if (!inserted && value > it->second) it->second = value;
 }
 
 void Metrics::observe(const std::string& name, double seconds) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   histograms_[name].record(seconds);
 }
 
 std::int64_t Metrics::count(const std::string& name) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 double Metrics::gauge(const std::string& name) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
 Metrics::Histogram Metrics::histogram(const std::string& name) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? Histogram{} : it->second;
 }
@@ -128,12 +131,12 @@ void Metrics::merge(const Metrics& other) {
   std::map<std::string, double> g;
   std::map<std::string, Histogram> h;
   {
-    const std::lock_guard<std::mutex> lock(other.mu_);
+    const util::MutexLock lock(other.mu_);
     c = other.counters_;
     g = other.gauges_;
     h = other.histograms_;
   }
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   for (const auto& [k, v] : c) counters_[k] += v;
   for (const auto& [k, v] : g) {
     auto [it, inserted] = gauges_.emplace(k, v);
@@ -143,24 +146,24 @@ void Metrics::merge(const Metrics& other) {
 }
 
 void Metrics::clear() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
 }
 
 std::map<std::string, std::int64_t> Metrics::counters() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return counters_;
 }
 
 std::map<std::string, double> Metrics::gauges() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return gauges_;
 }
 
 std::map<std::string, Metrics::Histogram> Metrics::histograms() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return histograms_;
 }
 
@@ -213,7 +216,9 @@ std::ostream& operator<<(std::ostream& os, const Metrics& m) {
 }
 
 Metrics& globalMetrics() {
-  static Metrics* g = new Metrics();  // leaked: usable during exit
+  // cbq-lint: allow(naked-new) intentionally leaked singleton so late
+  // detached threads can still record during process exit
+  static Metrics* g = new Metrics();
   return *g;
 }
 

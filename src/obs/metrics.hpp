@@ -20,9 +20,10 @@
 #include <array>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <ostream>
 #include <string>
+
+#include "util/sync.hpp"
 
 namespace cbq::obs {
 
@@ -90,10 +91,10 @@ class Metrics {
   friend std::ostream& operator<<(std::ostream& os, const Metrics& m);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::int64_t> counters_;
-  std::map<std::string, double> gauges_;
-  std::map<std::string, Histogram> histograms_;
+  mutable util::Mutex mu_;
+  std::map<std::string, std::int64_t> counters_ CBQ_GUARDED_BY(mu_);
+  std::map<std::string, double> gauges_ CBQ_GUARDED_BY(mu_);
+  std::map<std::string, Histogram> histograms_ CBQ_GUARDED_BY(mu_);
 };
 
 /// The process-wide registry for cross-cutting infrastructure that has no

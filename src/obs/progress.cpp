@@ -62,8 +62,8 @@ void ProgressStreamer::emit(const ProgressEvent& ev) {
   if (ev.kind == "slice")
     line << ", \"advanced\": " << (ev.advanced ? "true" : "false");
 
-  const std::lock_guard<std::mutex> lock(mu_);
-  out_ << '{' << line.str() << "}\n" << std::flush;
+  const util::MutexLock lock(mu_);
+  *out_ << '{' << line.str() << "}\n" << std::flush;
 }
 
 }  // namespace cbq::obs

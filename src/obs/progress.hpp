@@ -14,8 +14,9 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
-#include <mutex>
 #include <string>
+
+#include "util/sync.hpp"
 
 namespace cbq::obs {
 
@@ -49,7 +50,7 @@ using ProgressFn = std::function<void(const ProgressEvent&)>;
 /// immediately so `cbq batch --progress 2> >(jq .)` streams live.
 class ProgressStreamer {
  public:
-  explicit ProgressStreamer(std::ostream& out) : out_(out) {}
+  explicit ProgressStreamer(std::ostream& out) : out_(&out) {}
 
   void emit(const ProgressEvent& ev);
 
@@ -59,8 +60,8 @@ class ProgressStreamer {
   }
 
  private:
-  std::mutex mu_;
-  std::ostream& out_;
+  util::Mutex mu_;
+  std::ostream* const out_ CBQ_PT_GUARDED_BY(mu_);
 };
 
 }  // namespace cbq::obs

@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "util/sync.hpp"
 
 namespace cbq::obs {
 
@@ -31,25 +31,27 @@ struct SpanEvent {
 /// against flush/clear from other threads; appends are uncontended in the
 /// steady state.
 struct ThreadBuffer {
-  std::mutex mu;
-  std::vector<SpanEvent> ring;
-  std::size_t capacity = 0;
-  std::size_t next = 0;     // ring write cursor
-  std::size_t dropped = 0;  // events overwritten by wrap
-  bool wrapped = false;
-  std::string label;  // thread_name metadata, "" = unnamed
-  std::uint32_t tid = 0;
+  util::Mutex mu;
+  std::vector<SpanEvent> ring CBQ_GUARDED_BY(mu);
+  std::size_t capacity CBQ_GUARDED_BY(mu) = 0;
+  std::size_t next CBQ_GUARDED_BY(mu) = 0;     // ring write cursor
+  std::size_t dropped CBQ_GUARDED_BY(mu) = 0;  // overwritten by wrap
+  bool wrapped CBQ_GUARDED_BY(mu) = false;
+  std::string label CBQ_GUARDED_BY(mu);  // thread_name, "" = unnamed
+  std::uint32_t tid = 0;  // written once before publication, then const
 };
 
 struct Registry {
-  std::mutex mu;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-  std::size_t capacity = 1 << 16;
-  std::uint32_t nextTid = 1;
+  util::Mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers CBQ_GUARDED_BY(mu);
+  std::size_t capacity CBQ_GUARDED_BY(mu) = 1 << 16;
+  std::uint32_t nextTid CBQ_GUARDED_BY(mu) = 1;
 };
 
 Registry& registry() {
-  static Registry* g = new Registry();  // leaked: usable during exit
+  // cbq-lint: allow(naked-new) intentionally leaked singleton so spans
+  // recorded by late-exiting threads never touch a destroyed registry
+  static Registry* g = new Registry();
   return *g;
 }
 
@@ -60,7 +62,8 @@ ThreadBuffer& localBuffer() {
   thread_local std::shared_ptr<ThreadBuffer> buf = [] {
     auto b = std::make_shared<ThreadBuffer>();
     Registry& reg = registry();
-    const std::lock_guard<std::mutex> lock(reg.mu);
+    const util::MutexLock lock(reg.mu);
+    const util::MutexLock bufLock(b->mu);  // uncontended: not yet shared
     b->capacity = reg.capacity;
     b->tid = reg.nextTid++;
     reg.buffers.push_back(b);
@@ -70,7 +73,7 @@ ThreadBuffer& localBuffer() {
 }
 
 void appendEvent(ThreadBuffer& buf, const SpanEvent& ev) {
-  const std::lock_guard<std::mutex> lock(buf.mu);
+  const util::MutexLock lock(buf.mu);
   if (buf.capacity == 0) return;
   if (buf.ring.size() < buf.capacity) {
     buf.ring.push_back(ev);
@@ -130,10 +133,10 @@ void recordSpan(const char* category, const char* name, std::int64_t startNs,
 void enableTracing(std::size_t perThreadCapacity) {
   Registry& reg = registry();
   {
-    const std::lock_guard<std::mutex> lock(reg.mu);
+    const util::MutexLock lock(reg.mu);
     reg.capacity = perThreadCapacity == 0 ? 1 : perThreadCapacity;
     for (auto& buf : reg.buffers) {
-      const std::lock_guard<std::mutex> bufLock(buf->mu);
+      const util::MutexLock bufLock(buf->mu);
       buf->ring.clear();
       buf->ring.shrink_to_fit();
       buf->capacity = reg.capacity;
@@ -151,9 +154,9 @@ void disableTracing() {
 
 void clearTrace() {
   Registry& reg = registry();
-  const std::lock_guard<std::mutex> lock(reg.mu);
+  const util::MutexLock lock(reg.mu);
   for (auto& buf : reg.buffers) {
-    const std::lock_guard<std::mutex> bufLock(buf->mu);
+    const util::MutexLock bufLock(buf->mu);
     buf->ring.clear();
     buf->next = 0;
     buf->dropped = 0;
@@ -163,7 +166,7 @@ void clearTrace() {
 
 void setThreadLabel(std::string_view label) {
   ThreadBuffer& buf = localBuffer();
-  const std::lock_guard<std::mutex> lock(buf.mu);
+  const util::MutexLock lock(buf.mu);
   buf.label.assign(label.data(), label.size());
 }
 
@@ -178,10 +181,10 @@ void writeChromeTrace(std::ostream& out) {
   std::size_t totalDropped = 0;
   {
     Registry& reg = registry();
-    const std::lock_guard<std::mutex> lock(reg.mu);
+    const util::MutexLock lock(reg.mu);
     snaps.reserve(reg.buffers.size());
     for (auto& buf : reg.buffers) {
-      const std::lock_guard<std::mutex> bufLock(buf->mu);
+      const util::MutexLock bufLock(buf->mu);
       Snapshot s;
       s.tid = buf->tid;
       s.label = buf->label;
@@ -236,10 +239,10 @@ void writeChromeTrace(std::ostream& out) {
 TraceStats traceStats() {
   TraceStats stats;
   Registry& reg = registry();
-  const std::lock_guard<std::mutex> lock(reg.mu);
+  const util::MutexLock lock(reg.mu);
   stats.threads = reg.buffers.size();
   for (auto& buf : reg.buffers) {
-    const std::lock_guard<std::mutex> bufLock(buf->mu);
+    const util::MutexLock bufLock(buf->mu);
     stats.events += buf->ring.size();
     stats.dropped += buf->dropped;
   }

@@ -82,6 +82,7 @@ RunInfo RunInfo::capture() {
   info.hostThreads = std::thread::hardware_concurrency();
   // Wall timestamp (ISO-8601 UTC): identifies the run in committed
   // reports. The only sanctioned system-clock read outside durations.
+  // cbq-lint: allow(clock) run-header provenance timestamp, not a duration
   const std::time_t now = std::time(nullptr);
   std::tm tm{};
 #if defined(_WIN32)

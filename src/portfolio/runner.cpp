@@ -1,14 +1,15 @@
 #include "portfolio/runner.hpp"
 
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
+#include "audit/audit.hpp"
 #include "obs/tracer.hpp"
 #include "portfolio/time_slice.hpp"
+#include "util/sync.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -50,6 +51,12 @@ PortfolioResult PortfolioRunner::run(const mc::Network& net) const {
     prepared = prep::Pipeline(prepOpts).run(
         net, Budget(opts_.timeLimitSeconds)
                  .withRssLimit(opts_.rssLimitBytes));
+  } catch (const audit::AuditError&) {
+    // NOT contained: an armed audit firing means the pipeline built a
+    // structurally corrupt network. Falling back would mask the bug the
+    // audit exists to surface — propagate on this (caller) thread so the
+    // CLI can map it to its dedicated exit code.
+    throw;
   } catch (...) {
     prepared = prep::PreparedProblem{};
     prepared.latchesBefore = net.numLatches();
@@ -187,11 +194,21 @@ PortfolioResult PortfolioRunner::runRace(const mc::Network& net,
   Budget budget(opts.timeLimitSeconds, opts.nodeLimit, &token);
   budget.withRssLimit(opts.rssLimitBytes);
 
-  std::mutex mu;
-  int winnerIdx = -1;
-  std::vector<mc::CheckResult> results(n);
-  std::vector<char> wasCancelled(n, 0);
-  std::vector<std::string> failures(n);  ///< non-empty = engine threw
+  // Shared race state lives in one annotated struct: thread-safety
+  // attributes cannot guard loose function locals.
+  struct RaceState {
+    util::Mutex mu;
+    int winnerIdx CBQ_GUARDED_BY(mu) = -1;
+    std::vector<mc::CheckResult> results CBQ_GUARDED_BY(mu);
+    std::vector<char> wasCancelled CBQ_GUARDED_BY(mu);
+    std::vector<std::string> failures CBQ_GUARDED_BY(mu);  ///< engine threw
+  } st;
+  {
+    const util::MutexLock lock(st.mu);
+    st.results.resize(n);
+    st.wasCancelled.assign(n, 0);
+    st.failures.resize(n);
+  }
 
   auto worker = [&](std::size_t i) {
     obs::setThreadLabel("race " + opts.engines[i]);
@@ -250,14 +267,14 @@ PortfolioResult PortfolioRunner::runRace(const mc::Network& net,
     // rival won" from "ran to its own Unknown before anyone won".
     const bool tokenFiredBeforeReturn = token.cancelled();
     {
-      const std::lock_guard<std::mutex> lock(mu);
-      if (definitive && winnerIdx < 0) {
-        winnerIdx = static_cast<int>(i);
+      const util::MutexLock lock(st.mu);
+      if (definitive && st.winnerIdx < 0) {
+        st.winnerIdx = static_cast<int>(i);
         token.cancel();  // tell every rival to stop
       }
-      results[i] = std::move(res);
-      wasCancelled[i] = !definitive && tokenFiredBeforeReturn;
-      failures[i] = std::move(failure);
+      st.results[i] = std::move(res);
+      st.wasCancelled[i] = !definitive && tokenFiredBeforeReturn;
+      st.failures[i] = std::move(failure);
     }
   };
 
@@ -273,25 +290,28 @@ PortfolioResult PortfolioRunner::runRace(const mc::Network& net,
   }
   for (std::thread& t : threads) t.join();
 
+  // Post-join the race is single-threaded again, but the aggregation
+  // still takes the (uncontended) lock so every access stays checked.
+  const util::MutexLock lock(st.mu);
   for (std::size_t i = 0; i < n; ++i) {
     EngineRun& run = out.runs[i];
     run.engine = opts.engines[i];
-    run.verdict = results[i].verdict;
-    run.steps = results[i].steps;
-    run.seconds = results[i].seconds;
-    run.winner = static_cast<int>(i) == winnerIdx;
-    run.cancelled = wasCancelled[i] != 0;
+    run.verdict = st.results[i].verdict;
+    run.steps = st.results[i].steps;
+    run.seconds = st.results[i].seconds;
+    run.winner = static_cast<int>(i) == st.winnerIdx;
+    run.cancelled = st.wasCancelled[i] != 0;
     run.slices = 1;  // race mode: one uninterrupted run per engine
-    run.failed = !failures[i].empty();
-    run.error = failures[i];
-    run.stats = results[i].stats;
+    run.failed = !st.failures[i].empty();
+    run.error = st.failures[i];
+    run.stats = st.results[i].stats;
     if (run.failed) ++out.engineFailures;
   }
   out.allEnginesFailed = out.engineFailures == static_cast<int>(n) && n > 0;
   out.memLimitHit = budget.memLimitHit();
 
-  if (winnerIdx >= 0) {
-    out.best = std::move(results[static_cast<std::size_t>(winnerIdx)]);
+  if (st.winnerIdx >= 0) {
+    out.best = std::move(st.results[static_cast<std::size_t>(st.winnerIdx)]);
     // Definitive losers that disagree with the winner are a soundness bug
     // in some engine; surface it in the stats rather than hiding it.
     for (const EngineRun& run : out.runs) {

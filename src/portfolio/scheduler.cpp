@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <filesystem>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <thread>
@@ -11,6 +10,7 @@
 
 #include "circuits/io.hpp"
 #include "obs/memory.hpp"
+#include "util/sync.hpp"
 #include "util/timer.hpp"
 
 namespace cbq::portfolio {
@@ -77,8 +77,11 @@ BatchSummary BatchScheduler::run(
     fallback.emplace(std::move(fo));
   }
 
+  // summary.problems[i] is written only by the worker that claimed index
+  // i off the cursor (disjoint slots), so the only mutex-guarded state is
+  // the caller's onResult stream.
   std::atomic<std::size_t> cursor{0};
-  std::mutex reportMu;
+  util::Mutex reportMu;
 
   auto runOne = [&](std::size_t i) {
     const BatchProblem& job = problems[i];
@@ -176,7 +179,7 @@ BatchSummary BatchScheduler::run(
     }
     summary.problems[i] = std::move(r);
     if (onResult) {
-      const std::lock_guard<std::mutex> lock(reportMu);
+      const util::MutexLock lock(reportMu);
       onResult(summary.problems[i]);
     }
   };

@@ -1,14 +1,13 @@
 #include "portfolio/time_slice.hpp"
 
 #include <algorithm>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
 #include "obs/tracer.hpp"
+#include "util/sync.hpp"
 #include "util/timer.hpp"
 
 namespace cbq::portfolio {
@@ -83,34 +82,43 @@ PortfolioResult TimeSliceScheduler::run(const mc::Network& net) const {
   Budget outer(opts_.timeLimitSeconds, opts_.nodeLimit, &token);
   outer.withRssLimit(opts_.rssLimitBytes);
 
+  // Slots are protected by ownership transfer, not the mutex: a worker
+  // that pops index i from the ready queue owns slots[i] exclusively
+  // until it re-queues or retires it, including the lock-free resume.
+  // The annotated SliceState below is what the mutex actually guards.
   std::vector<Slot> slots(n);
-  std::deque<std::size_t> ready;
-  for (std::size_t i = 0; i < n; ++i) {
-    slots[i].engine = mc::makeEngine(opts_.engines[i]);
-    slots[i].sliceSeconds = opts_.sliceInitialSeconds;
-    ready.push_back(i);
+  struct SliceState {
+    util::Mutex mu;
+    util::CondVar cv;
+    std::deque<std::size_t> ready CBQ_GUARDED_BY(mu);
+    int winnerIdx CBQ_GUARDED_BY(mu) = -1;
+    bool stop CBQ_GUARDED_BY(mu) = false;   ///< winner found: stop granting
+    int inFlight CBQ_GUARDED_BY(mu) = 0;    ///< sessions resuming on workers
+  } st;
+  {
+    const util::MutexLock lock(st.mu);
+    for (std::size_t i = 0; i < n; ++i) {
+      slots[i].engine = mc::makeEngine(opts_.engines[i]);
+      slots[i].sliceSeconds = opts_.sliceInitialSeconds;
+      st.ready.push_back(i);
+    }
   }
-
-  std::mutex mu;
-  std::condition_variable cv;
-  int winnerIdx = -1;
-  bool stop = false;    // definitive winner found: stop granting slices
-  int inFlight = 0;     // sessions currently resuming on a worker
 
   // Scheduler decisions feed the winner's registry at the end (the slots
   // own per-engine registries; these are cross-engine).
   obs::Metrics schedStats;
 
   auto worker = [&] {
-    std::unique_lock<std::mutex> lock(mu);
+    util::UniqueLock lock(st.mu);
     for (;;) {
-      cv.wait(lock, [&] { return stop || !ready.empty() || inFlight == 0; });
-      if (stop || ready.empty()) return;  // drained or race decided
+      while (!(st.stop || !st.ready.empty() || st.inFlight == 0))
+        st.cv.wait(st.mu);
+      if (st.stop || st.ready.empty()) return;  // drained or race decided
 
-      const std::size_t i = ready.front();
-      ready.pop_front();
+      const std::size_t i = st.ready.front();
+      st.ready.pop_front();
       Slot& slot = slots[i];
-      ++inFlight;
+      ++st.inFlight;
       lock.unlock();
 
       mc::Progress p;
@@ -165,7 +173,7 @@ PortfolioResult TimeSliceScheduler::run(const mc::Network& net) const {
         replayRejected = !mc::replayHitsBad(clones[i], *p.result.cex);
 
       lock.lock();
-      --inFlight;
+      --st.inFlight;
       ++slot.slices;
       schedStats.add("sched.slice_grants");
       if (!threw) schedStats.observe("sched.slice_seconds", p.sliceSeconds);
@@ -190,10 +198,10 @@ PortfolioResult TimeSliceScheduler::run(const mc::Network& net) const {
             slot.last.result.stats.add("portfolio.cex_replay_failures");
             definitive = false;
           }
-          if (definitive && winnerIdx < 0) {
-            winnerIdx = static_cast<int>(i);
+          if (definitive && st.winnerIdx < 0) {
+            st.winnerIdx = static_cast<int>(i);
             token.cancel();  // tell mid-slice rivals to stop
-            stop = true;
+            st.stop = true;
           }
         } else {
           // Adaptive slice length from the telemetry: no bound committed
@@ -209,10 +217,10 @@ PortfolioResult TimeSliceScheduler::run(const mc::Network& net) const {
                                          opts_.sliceMinSeconds);
             schedStats.add("sched.demotions");
           }
-          if (!stop && !outer.exhausted()) ready.push_back(i);
+          if (!st.stop && !outer.exhausted()) st.ready.push_back(i);
         }
       }
-      cv.notify_all();
+      st.cv.notifyAll();
     }
   };
 
@@ -233,6 +241,9 @@ PortfolioResult TimeSliceScheduler::run(const mc::Network& net) const {
   if (threads.empty()) worker();  // degenerate fallback: run inline
   for (std::thread& t : threads) t.join();
 
+  // Post-join aggregation: single-threaded again, but winnerIdx is
+  // guarded, so hold the (uncontended) lock while reading it.
+  const util::MutexLock lock(st.mu);
   for (std::size_t i = 0; i < n; ++i) {
     EngineRun& run = out.runs[i];
     const Slot& slot = slots[i];
@@ -240,8 +251,8 @@ PortfolioResult TimeSliceScheduler::run(const mc::Network& net) const {
     run.verdict = slot.last.result.verdict;
     run.steps = slot.last.result.steps;
     run.seconds = slot.last.result.seconds;
-    run.winner = static_cast<int>(i) == winnerIdx;
-    run.cancelled = !slot.finished && winnerIdx >= 0;
+    run.winner = static_cast<int>(i) == st.winnerIdx;
+    run.cancelled = !slot.finished && st.winnerIdx >= 0;
     run.slices = slot.slices;
     run.failed = slot.threw;
     run.error = slot.error;
@@ -252,9 +263,9 @@ PortfolioResult TimeSliceScheduler::run(const mc::Network& net) const {
   out.allEnginesFailed = out.engineFailures == static_cast<int>(n) && n > 0;
   out.memLimitHit = outer.memLimitHit();
 
-  if (winnerIdx >= 0) {
+  if (st.winnerIdx >= 0) {
     out.best =
-        std::move(slots[static_cast<std::size_t>(winnerIdx)].last.result);
+        std::move(slots[static_cast<std::size_t>(st.winnerIdx)].last.result);
     // Definitive losers that disagree with the winner are a soundness bug
     // in some engine; surface it in the stats rather than hiding it.
     for (const EngineRun& run : out.runs) {

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "audit/audit.hpp"
 #include "obs/tracer.hpp"
 #include "util/fault.hpp"
 #include "util/timer.hpp"
@@ -65,6 +66,10 @@ PreparedProblem Pipeline::run(const mc::Network& net,
 
     out.reduced = std::move(r.net);
     out.identity = false;
+    // A pass committed a rewritten network: audit it before anything
+    // downstream (another pass or an engine) consumes the corruption.
+    CBQ_AUDIT_CHECK(std::string("prep.") + spec.name,
+                    audit::auditNetwork(out.reduced));
     if (r.transform) out.stack.push_back(std::move(r.transform));
     ps.latchesAfter = out.reduced.numLatches();
     ps.inputsAfter = out.reduced.numInputs();

@@ -35,6 +35,10 @@ namespace cbq::util {
 class ThreadPool;
 }
 
+namespace cbq::audit {
+struct Access;
+}
+
 namespace cbq::sweep {
 
 /// splitmix64 finalizer — the word mixer behind every signature-class
@@ -113,6 +117,8 @@ class Signatures {
                                      aig::NodeId b, bool phaseB) const;
 
  private:
+  friend struct ::cbq::audit::Access;
+
   void simulateColumn(std::size_t w);
   void loadPiColumn(std::size_t w);
 

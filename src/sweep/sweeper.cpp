@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "audit/audit.hpp"
 #include "bdd/bdd.hpp"
 #include "cnf/aig_cnf.hpp"
 #include "obs/tracer.hpp"
 #include "sat/solver.hpp"
 #include "sweep/signatures.hpp"
 #include "sweep/sweep_context.hpp"
+#include "sweep/union_find.hpp"
 #include "util/random.hpp"
 #include "util/thread_pool.hpp"
 
@@ -43,31 +45,6 @@ std::vector<std::uint8_t> referencedNodes(const aig::Aig& aig,
   }
   return seen;
 }
-
-/// Dense union-find over pool slots with path halving. Classes are always
-/// rooted at their earliest (pool-order, hence topologically first)
-/// member, so merge targets stay acyclic.
-class UnionFind {
- public:
-  explicit UnionFind(std::size_t n) : parent_(n) {
-    for (std::size_t i = 0; i < n; ++i)
-      parent_[i] = static_cast<std::uint32_t>(i);
-  }
-  std::uint32_t find(std::uint32_t x) {
-    while (parent_[x] != x) {
-      parent_[x] = parent_[parent_[x]];
-      x = parent_[x];
-    }
-    return x;
-  }
-  /// Attaches `later`'s tree under `earlier`'s root (earlier < later).
-  void unite(std::uint32_t earlier, std::uint32_t later) {
-    parent_[find(later)] = find(earlier);
-  }
-
- private:
-  std::vector<std::uint32_t> parent_;
-};
 
 }  // namespace
 
@@ -342,6 +319,7 @@ SweepResult sweep(aig::Aig& aig, std::span<const Lit> roots,
     }
     for (const auto& edges : unites)
       for (const auto& [leader, slot] : edges) uf.unite(leader, slot);
+    CBQ_AUDIT_CHECK("sweep.unite", audit::auditUnionFind(uf));
 
     // Gather union-find trees into member lists (pool order ⇒ members are
     // topologically ordered and the root is the earliest).
@@ -477,6 +455,7 @@ SweepResult sweep(aig::Aig& aig, std::span<const Lit> roots,
   }
 
   out.roots = aig.rebuildWithNodeMap(roots, mergeMap);
+  CBQ_AUDIT_CHECK("sweep.merge", audit::auditAig(aig));
   out.stats.nodesAfter = aig.coneSize(out.roots);
   return out;
 }

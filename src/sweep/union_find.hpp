@@ -1,0 +1,52 @@
+#pragma once
+// Dense union-find over candidate-pool slots with path halving.
+//
+// Extracted from the sweeper so the invariant auditor (audit/audit.hpp)
+// and the corruption-injection tests can check the structure the merge
+// phase depends on: classes are always rooted at their earliest
+// (pool-order, hence topologically first) member — unite() only ever
+// attaches a later tree under an earlier root — which is what keeps the
+// final merge map acyclic. auditUnionFind() verifies exactly that.
+
+#include <cstdint>
+#include <vector>
+
+namespace cbq::audit {
+struct Access;
+}
+
+namespace cbq::sweep {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i)
+      parent_[i] = static_cast<std::uint32_t>(i);
+  }
+
+  std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Attaches `later`'s tree under `earlier`'s root (earlier < later).
+  void unite(std::uint32_t earlier, std::uint32_t later) {
+    parent_[find(later)] = find(earlier);
+  }
+
+  [[nodiscard]] std::size_t size() const { return parent_.size(); }
+
+  /// Read-only parent link (no path halving) — the auditor's traversal.
+  [[nodiscard]] std::uint32_t parentOf(std::uint32_t x) const {
+    return parent_[x];
+  }
+
+ private:
+  friend struct ::cbq::audit::Access;
+  std::vector<std::uint32_t> parent_;
+};
+
+}  // namespace cbq::sweep

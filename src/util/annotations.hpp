@@ -1,0 +1,62 @@
+#pragma once
+// Clang Thread Safety Analysis attribute macros.
+//
+// Every mutex-owning class in the project annotates its lock discipline
+// with these macros so that a clang build with -Werror=thread-safety
+// (the `clang-thread-safety` CI job) statically rejects unguarded access
+// to shared state. Under GCC — the default local toolchain — every macro
+// expands to nothing, so annotations are free for non-clang builds.
+//
+// The vocabulary mirrors the official clang TSA attribute set
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html); only the
+// subset the codebase actually uses is defined here. Raw std::mutex has
+// no capability annotations in libstdc++, so annotated code must hold
+// util::Mutex / util::CondVar from util/sync.hpp instead — a project
+// lint rule (std-mutex) enforces exactly that outside util/.
+
+#if defined(__clang__)
+#define CBQ_TSA_ATTR(x) __attribute__((x))
+#else
+#define CBQ_TSA_ATTR(x)  // no-op outside clang
+#endif
+
+/// Marks a type as a capability (a lock). `x` names the capability kind
+/// shown in diagnostics, e.g. CBQ_CAPABILITY("mutex").
+#define CBQ_CAPABILITY(x) CBQ_TSA_ATTR(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases
+/// a capability (std::lock_guard-shaped types).
+#define CBQ_SCOPED_CAPABILITY CBQ_TSA_ATTR(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define CBQ_GUARDED_BY(x) CBQ_TSA_ATTR(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x` (the pointer
+/// itself may be read freely).
+#define CBQ_PT_GUARDED_BY(x) CBQ_TSA_ATTR(pt_guarded_by(x))
+
+/// Function requires the listed capabilities to be held on entry (and
+/// still held on exit).
+#define CBQ_REQUIRES(...) CBQ_TSA_ATTR(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on exit, not entry).
+#define CBQ_ACQUIRE(...) CBQ_TSA_ATTR(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities.
+#define CBQ_RELEASE(...) CBQ_TSA_ATTR(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `b`.
+#define CBQ_TRY_ACQUIRE(b, ...) \
+  CBQ_TSA_ATTR(try_acquire_capability(b, __VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (non-reentrancy guard).
+#define CBQ_EXCLUDES(...) CBQ_TSA_ATTR(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the capability guarding its result.
+#define CBQ_RETURN_CAPABILITY(x) CBQ_TSA_ATTR(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a one-line rationale comment (lint rule: zero bare
+/// suppressions applies to lint pragmas; code review polices this one).
+#define CBQ_NO_THREAD_SAFETY_ANALYSIS \
+  CBQ_TSA_ATTR(no_thread_safety_analysis)

@@ -76,7 +76,7 @@ bool FaultInjector::arm(const std::string& spec, std::string* error) {
 }
 
 void FaultInjector::armSpec(FaultSpec spec) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto armed = std::make_unique<Armed>();
   armed->spec = std::move(spec);
   sites_.push_back(std::move(armed));
@@ -84,12 +84,12 @@ void FaultInjector::armSpec(FaultSpec spec) {
 }
 
 void FaultInjector::seed(std::uint64_t s) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   rngState_ = s ^ 0x9e3779b97f4a7c15ull;
 }
 
 void FaultInjector::disarm() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   armed_.store(false, std::memory_order_release);
   sites_.clear();
 }
@@ -102,7 +102,7 @@ bool FaultInjector::fires(Armed& a) {
     // splitmix64 under the injector lock: deterministic for a fixed seed
     // and hit sequence (concurrent hitters make the interleaving — not
     // the marginal rate — nondeterministic, which a soak accepts).
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     rngState_ += 0x9e3779b97f4a7c15ull;
     std::uint64_t z = rngState_;
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
@@ -143,7 +143,7 @@ void FaultInjector::hit(const char* site) {
   // Snapshot under the lock, act outside it: fire() may sleep or throw.
   Armed* match = nullptr;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     for (const auto& a : sites_)
       if (a->spec.mode != FaultMode::Fail && a->spec.site == site) {
         match = a.get();
@@ -156,7 +156,7 @@ void FaultInjector::hit(const char* site) {
 bool FaultInjector::shouldFail(const char* site) {
   Armed* match = nullptr;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     for (const auto& a : sites_)
       if (a->spec.mode == FaultMode::Fail && a->spec.site == site) {
         match = a.get();
@@ -167,7 +167,7 @@ bool FaultInjector::shouldFail(const char* site) {
 }
 
 std::uint64_t FaultInjector::fireCount() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   std::uint64_t total = 0;
   for (const auto& a : sites_)
     total += a->fires.load(std::memory_order_relaxed);
@@ -175,7 +175,7 @@ std::uint64_t FaultInjector::fireCount() const {
 }
 
 std::vector<FaultSiteStats> FaultInjector::stats() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   std::vector<FaultSiteStats> out;
   out.reserve(sites_.size());
   for (const auto& a : sites_)

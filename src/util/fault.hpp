@@ -32,10 +32,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace cbq::util {
 
@@ -125,9 +126,12 @@ class FaultInjector {
   void fire(const Armed& a, const char* site);
 
   static std::atomic<bool> armed_;
-  mutable std::mutex mu_;  ///< guards sites_ layout + rng_
-  std::vector<std::unique_ptr<Armed>> sites_;
-  std::uint64_t rngState_ = 0x9e3779b97f4a7c15ull;
+  mutable Mutex mu_;
+  /// Guarded layout only: Armed objects stay at a stable address once
+  /// armed and are hit through raw pointers outside the lock (their
+  /// counters are atomics; spec is immutable after arm).
+  std::vector<std::unique_ptr<Armed>> sites_ CBQ_GUARDED_BY(mu_);
+  std::uint64_t rngState_ CBQ_GUARDED_BY(mu_) = 0x9e3779b97f4a7c15ull;
 };
 
 }  // namespace cbq::util

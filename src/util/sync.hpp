@@ -1,0 +1,118 @@
+#pragma once
+// Annotated synchronization primitives.
+//
+// libstdc++'s std::mutex carries no thread-safety-analysis attributes,
+// so clang cannot check lock discipline through it. These thin wrappers
+// add the capability annotations (util/annotations.hpp) with zero
+// runtime cost over the std types they delegate to:
+//
+//   Mutex      — std::mutex as a CBQ_CAPABILITY
+//   MutexLock  — std::lock_guard equivalent (scoped, non-releasable)
+//   UniqueLock — relockable scope for lock/unlock/relock sequences and
+//                condition-variable waits
+//   CondVar    — std::condition_variable_any over Mutex; wait() takes
+//                the Mutex itself so the REQUIRES annotation names the
+//                capability the analysis tracks
+//
+// Everything mutex-shaped outside util/ must use these (lint rule
+// std-mutex); predicate-lambda waits are written as explicit
+// `while (!cond) cv.wait(mu);` loops because the analysis cannot see a
+// lambda's lock context.
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/annotations.hpp"
+
+namespace cbq::util {
+
+class CondVar;
+
+/// std::mutex with capability annotations.
+class CBQ_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CBQ_ACQUIRE() { mu_.lock(); }
+  void unlock() CBQ_RELEASE() { mu_.unlock(); }
+  bool try_lock() CBQ_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Scoped lock-and-hold (std::lock_guard shape): acquires in the
+/// constructor, releases in the destructor, never mid-scope.
+class CBQ_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CBQ_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() CBQ_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Scoped lock that supports unlock/relock mid-scope, for code that
+/// drops the lock around a blocking region (scheduler workers) or waits
+/// on a CondVar. Destructor releases only if currently held.
+class CBQ_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) CBQ_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.lock();
+  }
+  ~UniqueLock() CBQ_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  void lock() CBQ_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+  void unlock() CBQ_RELEASE() {
+    mu_.unlock();
+    held_ = false;
+  }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// Condition variable over Mutex. wait() names the Mutex so callers'
+/// REQUIRES obligations are visible to the analysis; the caller keeps a
+/// UniqueLock (or MutexLock) alive for the RAII release.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, sleeps, and re-acquires before
+  /// returning. The capability is held across the call boundary from
+  /// the analysis's point of view (release + re-acquire nets to zero).
+  void wait(Mutex& mu) CBQ_REQUIRES(mu) { cv_.wait(mu.mu_); }
+
+  template <class Rep, class Period>
+  std::cv_status waitFor(Mutex& mu,
+                         const std::chrono::duration<Rep, Period>& dur)
+      CBQ_REQUIRES(mu) {
+    return cv_.wait_for(mu.mu_, dur);
+  }
+
+  void notifyOne() { cv_.notify_one(); }
+  void notifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace cbq::util

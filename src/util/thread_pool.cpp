@@ -21,10 +21,10 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stop_ = true;
   }
-  wake_.notify_all();
+  wake_.notifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -39,14 +39,16 @@ void ThreadPool::runChunks(Job& job, int lane) {
     try {
       (*job.body)(begin, end, lane);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(job.errMu);
       if (!job.error) job.error = std::current_exception();
     }
-    // The last finished chunk releases the caller's join barrier.
+    // The last finished chunk releases the caller's join barrier. The
+    // empty critical section orders the done-store against the caller's
+    // predicate re-check, so the notify cannot be missed.
     if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         job.numChunks) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      joined_.notify_all();
+      { const MutexLock lock(mutex_); }
+      joined_.notifyAll();
     }
   }
   // Lane occupancy for the run-level report: how much wall time the pool's
@@ -62,20 +64,21 @@ void ThreadPool::workerLoop(int lane) {
   for (;;) {
     Job* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [&] { return stop_ || jobSeq_ != seen; });
+      const MutexLock lock(mutex_);
+      while (!stop_ && jobSeq_ == seen) wake_.wait(mutex_);
       if (stop_) return;
       seen = jobSeq_;
       job = job_;  // nullptr for a late waker: the job already retired
-      if (job != nullptr) ++job->active;
+      if (job != nullptr) job->active.fetch_add(1, std::memory_order_relaxed);
     }
     if (job == nullptr) continue;
     runChunks(*job, lane);
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      --job->active;  // the join barrier also waits for this to hit zero
-    }
-    joined_.notify_all();
+    // The join barrier also waits for active to hit zero; the empty
+    // critical section pairs the store with the caller's locked
+    // predicate re-check (missed-wakeup fence).
+    job->active.fetch_sub(1, std::memory_order_acq_rel);
+    { const MutexLock lock(mutex_); }
+    joined_.notifyAll();
   }
 }
 
@@ -104,28 +107,32 @@ void ThreadPool::parallelFor(std::size_t n, std::size_t grain,
   job.numChunks = (n + job.chunk - 1) / job.chunk;
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     job_ = &job;
     ++jobSeq_;
   }
-  wake_.notify_all();
+  wake_.notifyAll();
   runChunks(job, 0);  // the caller is lane 0
 
   {
     // The barrier needs every chunk processed AND every worker out of
     // runChunks — `job` lives on this stack frame, so a straggler still
     // probing for a chunk must not outlive the wait.
-    std::unique_lock<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     job_ = nullptr;  // late wakers see no job instead of a dead one
-    joined_.wait(lock, [&] {
-      return job.done.load(std::memory_order_acquire) == job.numChunks &&
-             job.active == 0;
-    });
+    while (!(job.done.load(std::memory_order_acquire) == job.numChunks &&
+             job.active.load(std::memory_order_acquire) == 0))
+      joined_.wait(mutex_);
   }
   busy_.store(false, std::memory_order_release);
   obs::globalMetrics().add("pool.regions");
   obs::globalMetrics().observe("pool.region_seconds", region.seconds());
-  if (job.error) std::rethrow_exception(job.error);
+  std::exception_ptr err;
+  {
+    const MutexLock lock(job.errMu);
+    err = job.error;
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 }  // namespace cbq::util

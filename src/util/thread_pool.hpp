@@ -30,13 +30,13 @@
 // chunk has returned.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace cbq::util {
 
@@ -81,21 +81,25 @@ class ThreadPool {
     std::size_t numChunks = 0;
     std::atomic<std::size_t> next{0};  ///< next unclaimed chunk
     std::atomic<std::size_t> done{0};  ///< chunks fully processed
-    int active = 0;                    ///< workers inside runChunks (mutex_)
-    std::exception_ptr error;          ///< first failure (under mutex_)
+    std::atomic<int> active{0};        ///< workers inside runChunks
+    Mutex errMu;                       ///< job-local: thread-safety
+                                       ///< attributes cannot name the
+                                       ///< owning pool's mutex_ from a
+                                       ///< nested struct
+    std::exception_ptr error CBQ_GUARDED_BY(errMu);  ///< first failure
   };
 
   void workerLoop(int lane);
   void runChunks(Job& job, int lane);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable wake_;   ///< workers wait for a new job
-  std::condition_variable joined_; ///< caller waits for chunk completion
-  Job* job_ = nullptr;             ///< current job (under mutex_)
-  std::uint64_t jobSeq_ = 0;       ///< bumped per job, wakes workers
+  Mutex mutex_;
+  CondVar wake_;    ///< workers wait for a new job
+  CondVar joined_;  ///< caller waits for chunk completion
+  Job* job_ CBQ_GUARDED_BY(mutex_) = nullptr;  ///< current job
+  std::uint64_t jobSeq_ CBQ_GUARDED_BY(mutex_) = 0;  ///< wakes workers
   std::atomic<bool> busy_{false};  ///< a parallel region is in flight
-  bool stop_ = false;
+  bool stop_ CBQ_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace cbq::util

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Exit-code contract test for `cbq check`:
-#   0 = SAFE, 10 = UNSAFE, 20 = UNKNOWN, 1 = usage/IO error.
+#   0 = SAFE, 10 = UNSAFE, 20 = UNKNOWN, 1 = usage/IO error,
+#   30 = audit violation (only reachable with --audit).
 # Run by ctest as: cli_exit_codes.sh <path-to-cbq-binary>
 set -u
 
@@ -69,6 +70,26 @@ case "$inject_out" in
       echo "FAIL: all-engines-faulted check exited $got, expected 20"
       fails=$((fails + 1))
     }
+    ;;
+esac
+
+# Auditing a healthy instance must not change the verdict's exit code...
+expect 0 "$CBQ" check "$TMP/safe.aag" --audit --timeout 60
+expect 10 "$CBQ" check "$TMP/unsafe.aag" --audit --timeout 60
+# ...while every seeded corruption class maps to the dedicated exit 30,
+# and an unknown class is a usage error.
+expect 30 "$CBQ" check "$TMP/safe.aag" --audit --audit-selftest strash
+expect 30 "$CBQ" check "$TMP/safe.aag" --audit --audit-selftest epoch
+expect 30 "$CBQ" check "$TMP/safe.aag" --audit --audit-selftest latch
+expect 1 "$CBQ" check "$TMP/safe.aag" --audit --audit-selftest bogus
+
+# The exit-30 path must name the violated invariant.
+msg="$("$CBQ" check "$TMP/safe.aag" --audit --audit-selftest latch 2>&1)"
+case "$msg" in
+  *"net.latch.dangling-next"*) ;;
+  *)
+    echo "FAIL: audit selftest output lacks invariant name: $msg"
+    fails=$((fails + 1))
     ;;
 esac
 

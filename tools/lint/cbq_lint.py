@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""cbq project lint — the repo-specific rules clang-tidy cannot express.
+
+Rules (each suppressible per line with an explained pragma):
+
+  clock              no std::chrono::system_clock and no wall-clock
+                     std::time()/time(NULL) reads outside src/util/.
+                     Durations must come from util::Timer (steady_clock);
+                     the run-header timestamp is the sanctioned exception.
+  naked-new          no naked `new` in src/ or apps/ — ownership goes
+                     through make_unique/make_shared or containers. The
+                     two intentionally leaked singletons carry pragmas.
+  std-mutex          no raw std::mutex / condition_variable / lock_guard /
+                     unique_lock / scoped_lock outside src/util/sync.hpp.
+                     Concurrency goes through the util::Mutex wrappers so
+                     clang Thread Safety Analysis sees every lock.
+  span-category      every CBQ_OBS_SPAN category used in code appears in
+                     the README span-category table.
+  fault-site         every CBQ_FAULT_POINT site used in code appears in
+                     the README fault-site catalogue.
+  test-registration  every tests/test_*.cpp is registered in
+                     tests/CMakeLists.txt (an unregistered test silently
+                     never runs).
+  build-registration every src/**/*.cpp appears in compile_commands.json
+                     (a source file dropped from CMake silently never
+                     builds). Skipped when no compile_commands.json is
+                     found.
+
+Suppression pragma, on the offending line or the line directly above:
+
+    // cbq-lint: allow(<rule>) <non-empty rationale>
+
+A pragma without a rationale is itself a finding — zero bare
+suppressions is part of the contract.
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+PRAGMA_RE = re.compile(r"//\s*cbq-lint:\s*allow\(([a-z-]+)\)\s*(.*\S)?\s*$")
+
+CLOCK_RE = re.compile(
+    r"\bsystem_clock\b|\bstd::time\s*\(|[^\w:.>]time\s*\(\s*(?:NULL|nullptr|0)\s*\)"
+)
+NAKED_NEW_RE = re.compile(r"\bnew\b\s*(?:\(\s*std::nothrow\s*\))?\s*[A-Za-z_(]")
+STD_MUTEX_RE = re.compile(
+    r"\bstd::(mutex|timed_mutex|recursive_mutex|shared_mutex|"
+    r"condition_variable(?:_any)?|lock_guard|unique_lock|scoped_lock)\b"
+)
+SPAN_RE = re.compile(r'CBQ_OBS_SPAN\(\s*"([^"]+)"')
+FAULT_RE = re.compile(r'CBQ_FAULT_POINT\(\s*"([^"]+)"\s*\)')
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path, self.line, self.rule, self.message = path, line, rule, message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_line_comment(line: str) -> str:
+    """Code part of a line (everything before //, strings left alone —
+    good enough for this codebase's // comment style)."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def iter_source_files(root: Path, subdirs: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for sub in subdirs:
+        base = root / sub
+        if base.is_dir():
+            files.extend(sorted(base.rglob("*.cpp")))
+            files.extend(sorted(base.rglob("*.hpp")))
+    return files
+
+
+def pragma_map(lines: list[str]) -> dict[int, tuple[str, str]]:
+    """1-based line -> (rule, rationale) for lines covered by a pragma:
+    the pragma's own line, any directly following comment-only lines (a
+    wrapped rationale), and the first code line after them."""
+    out: dict[int, tuple[str, str]] = {}
+    for i, line in enumerate(lines, start=1):
+        m = PRAGMA_RE.search(line)
+        if not m:
+            continue
+        entry = (m.group(1), (m.group(2) or "").strip())
+        out[i] = entry
+        j = i + 1
+        while j <= len(lines) and lines[j - 1].strip().startswith("//"):
+            out[j] = entry
+            j += 1
+        out[j] = entry
+    return out
+
+
+def scan_file(
+    path: Path, rel: Path, findings: list[Finding], used_spans: dict[str, tuple[Path, int]],
+    used_faults: dict[str, tuple[Path, int]]
+) -> None:
+    lines = path.read_text(encoding="utf-8").splitlines()
+    pragmas = pragma_map(lines)
+    in_util = rel.parts[:2] == ("src", "util")
+    is_sync = rel.as_posix() == "src/util/sync.hpp"
+    in_src_or_apps = rel.parts[0] in ("src", "apps")
+
+    def check(lineno: int, rule: str, message: str) -> None:
+        p = pragmas.get(lineno)
+        if p and p[0] == rule:
+            if not p[1]:
+                findings.append(
+                    Finding(rel, lineno, rule,
+                            "bare suppression: allow() pragma needs a rationale"))
+            return
+        findings.append(Finding(rel, lineno, rule, message))
+
+    for i, raw in enumerate(lines, start=1):
+        code = strip_line_comment(raw)
+        if not code.strip():
+            continue
+        for m in SPAN_RE.finditer(code):
+            used_spans.setdefault(m.group(1), (rel, i))
+        for m in FAULT_RE.finditer(code):
+            used_faults.setdefault(m.group(1), (rel, i))
+        if not in_util and CLOCK_RE.search(code):
+            check(i, "clock",
+                  "wall-clock read outside src/util/ — use util::Timer "
+                  "(steady_clock) for durations")
+        if in_src_or_apps and NAKED_NEW_RE.search(code):
+            check(i, "naked-new",
+                  "naked new — use std::make_unique/make_shared or a container")
+        if rel.parts[0] == "src" and not is_sync and STD_MUTEX_RE.search(code):
+            check(i, "std-mutex",
+                  "raw std synchronization primitive — use the annotated "
+                  "util::Mutex/MutexLock/UniqueLock/CondVar wrappers "
+                  "(util/sync.hpp) so thread-safety analysis sees the lock")
+
+
+def readme_table_entries(readme: str, header_cell: str) -> set[str]:
+    """First-column backticked entries of the markdown table whose header
+    row's first cell is `header_cell`."""
+    entries: set[str] = set()
+    in_table = False
+    for line in readme.splitlines():
+        stripped = line.strip()
+        if not in_table:
+            cells = [c.strip() for c in stripped.split("|")]
+            if len(cells) > 2 and cells[1] == header_cell:
+                in_table = True
+            continue
+        if not stripped.startswith("|"):
+            break
+        m = re.match(r"\|\s*`([^`]+)`", stripped)
+        if m:
+            entries.add(m.group(1))
+    return entries
+
+
+def find_compile_commands(root: Path, explicit: str | None) -> Path | None:
+    if explicit:
+        p = Path(explicit)
+        return p if p.is_file() else None
+    for cand in sorted(root.glob("build*/compile_commands.json")):
+        return cand
+    return None
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: two levels above this script)")
+    ap.add_argument("--compile-commands", default=None,
+                    help="explicit compile_commands.json path")
+    args = ap.parse_args()
+
+    root = Path(args.root).resolve() if args.root else \
+        Path(__file__).resolve().parents[2]
+    readme_path = root / "README.md"
+    if not (root / "src").is_dir() or not readme_path.is_file():
+        print(f"cbq_lint: {root} does not look like the cbq repo root",
+              file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    used_spans: dict[str, tuple[Path, int]] = {}
+    used_faults: dict[str, tuple[Path, int]] = {}
+
+    for path in iter_source_files(root, ["src", "apps", "bench", "examples"]):
+        scan_file(path, path.relative_to(root), findings, used_spans,
+                  used_faults)
+
+    readme = readme_path.read_text(encoding="utf-8")
+    documented_spans = readme_table_entries(readme, "category")
+    documented_sites = readme_table_entries(readme, "site")
+    for cat, (rel, line) in sorted(used_spans.items()):
+        if cat not in documented_spans:
+            findings.append(Finding(
+                rel, line, "span-category",
+                f"span category '{cat}' is missing from the README "
+                "span-category table"))
+    for site, (rel, line) in sorted(used_faults.items()):
+        if site not in documented_sites:
+            findings.append(Finding(
+                rel, line, "fault-site",
+                f"fault site '{site}' is missing from the README "
+                "fault-site catalogue"))
+
+    tests_cmake = root / "tests" / "CMakeLists.txt"
+    if tests_cmake.is_file():
+        registered = tests_cmake.read_text(encoding="utf-8")
+        for test in sorted((root / "tests").glob("test_*.cpp")):
+            if test.name not in registered:
+                findings.append(Finding(
+                    test.relative_to(root), 1, "test-registration",
+                    f"{test.name} is not registered in tests/CMakeLists.txt "
+                    "— it will never run"))
+
+    cc = find_compile_commands(root, args.compile_commands)
+    if cc is not None:
+        built = {Path(e["file"]).name for e in json.loads(cc.read_text())}
+        for src in sorted((root / "src").rglob("*.cpp")):
+            if src.name not in built:
+                findings.append(Finding(
+                    src.relative_to(root), 1, "build-registration",
+                    f"{src.name} is absent from {cc.relative_to(root)} "
+                    "— it is not part of the build"))
+    else:
+        print("cbq_lint: note: no compile_commands.json found, "
+              "build-registration rule skipped", file=sys.stderr)
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"cbq_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("cbq_lint: clean", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
