@@ -1,9 +1,20 @@
-// Micro-benchmarks of the CDCL solver: random 3-SAT near the phase
-// transition, pigeonhole proofs, and the assumption-batch pattern the
-// sweeping engine relies on (one clause DB, many factorized checks).
+// Micro-benchmarks of the CDCL solvers: random 3-SAT near the phase
+// transition, pigeonhole proofs, the assumption-batch pattern the
+// sweeping engine relies on (one clause DB, many factorized checks), and
+// the CNF-vs-circuit backend duel on sweep-style cone queries — the same
+// check, once through the Tseitin encode + clause solver and once through
+// the circuit-native CDCL that propagates on the AIG directly.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "cnf/cnf_backend.hpp"
+#include "sat/backend.hpp"
+#include "sat/circuit_solver.hpp"
 #include "sat/solver.hpp"
 #include "util/random.hpp"
 
@@ -88,6 +99,89 @@ void BM_BudgetedSolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BudgetedSolve)->Arg(10)->Arg(100)->Arg(1000);
+
+// ----- CNF vs circuit backend on sweep-style cone queries -------------
+
+constexpr int kConeVars = 24;
+
+/// Grows a random AND cone of ~`ands` nodes over kConeVars inputs and
+/// returns two structurally different but equivalent roots: a balanced
+/// and a shuffled left-fold conjunction of the same internal literals —
+/// exactly the shape of a sweeping compare point.
+struct ConePair {
+  cbq::aig::Aig g;
+  cbq::aig::Lit balanced = cbq::aig::kFalse;
+  cbq::aig::Lit folded = cbq::aig::kFalse;
+};
+
+void buildCone(ConePair& cone, std::size_t ands, std::uint64_t seed) {
+  cbq::util::Random rng(seed);
+  auto& g = cone.g;
+  std::vector<cbq::aig::Lit> pool;
+  for (int v = 0; v < kConeVars; ++v) pool.push_back(g.pi(v));
+  while (g.numAnds() < ands) {
+    const cbq::aig::Lit a =
+        pool[rng.below(pool.size())] ^ rng.flip();
+    const cbq::aig::Lit b =
+        pool[rng.below(pool.size())] ^ rng.flip();
+    pool.push_back(g.mkAnd(a, b));
+  }
+  // The compare-point pair: same conjuncts, different association.
+  std::vector<cbq::aig::Lit> conj;
+  for (int i = 0; i < 16; ++i)
+    conj.push_back(pool[pool.size() - 1 - rng.below(pool.size() / 2)]);
+  cone.balanced = g.mkAndAll(conj);
+  std::shuffle(conj.begin(), conj.end(),
+               std::mt19937_64(seed ^ 0x9e3779b97f4a7c15ull));
+  cone.folded = cbq::aig::kTrue;
+  for (const cbq::aig::Lit l : conj) cone.folded = g.mkAnd(cone.folded, l);
+}
+
+/// One equivalence proof per iteration on a fresh backend: the CNF side
+/// pays encode + solve, the circuit side solves on the graph as-is.
+void runEquivProof(benchmark::State& state, cbq::sat::BackendKind kind) {
+  ConePair cone;
+  buildCone(cone, static_cast<std::size_t>(state.range(0)), 42);
+  for (auto _ : state) {
+    const auto backend = cbq::cnf::makeSatBackend(kind, cone.g);
+    const cbq::aig::Lit roots[] = {cone.balanced, cone.folded};
+    backend->focusOn(roots);
+    benchmark::DoNotOptimize(
+        cbq::sat::checkEquiv(*backend, cone.balanced, cone.folded));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+/// One satisfiability query per iteration on a fresh backend.
+void runSatQuery(benchmark::State& state, cbq::sat::BackendKind kind) {
+  ConePair cone;
+  buildCone(cone, static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    const auto backend = cbq::cnf::makeSatBackend(kind, cone.g);
+    const cbq::aig::Lit roots[] = {cone.balanced};
+    backend->focusOn(roots);
+    benchmark::DoNotOptimize(
+        cbq::sat::checkSat(*backend, cone.balanced));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ConeEquivCnf(benchmark::State& state) {
+  runEquivProof(state, cbq::sat::BackendKind::Cnf);
+}
+void BM_ConeEquivCircuit(benchmark::State& state) {
+  runEquivProof(state, cbq::sat::BackendKind::Circuit);
+}
+void BM_ConeSatCnf(benchmark::State& state) {
+  runSatQuery(state, cbq::sat::BackendKind::Cnf);
+}
+void BM_ConeSatCircuit(benchmark::State& state) {
+  runSatQuery(state, cbq::sat::BackendKind::Circuit);
+}
+BENCHMARK(BM_ConeEquivCnf)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_ConeEquivCircuit)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_ConeSatCnf)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_ConeSatCircuit)->Arg(1000)->Arg(10000)->Arg(100000);
 
 }  // namespace
 

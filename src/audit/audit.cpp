@@ -468,12 +468,111 @@ Report auditUnionFind(const sweep::UnionFind& uf) {
   return r;
 }
 
+// ----- CircuitSolver --------------------------------------------------
+
+Report auditCircuitSolver(const sat::CircuitSolver& solver) {
+  Report r;
+  const auto& arena = Access::circuitArena(solver);
+  const auto& watches = Access::circuitWatches(solver);
+  const std::size_t synced = Access::circuitSyncedNodes(solver);
+
+  // Stored constraint gates: header sane, inside the arena, literals
+  // reference synced nodes, learnt flag matches the owning list.
+  std::vector<std::pair<std::uint32_t, bool>> gates;
+  for (const std::uint32_t g : Access::circuitPermanents(solver))
+    gates.emplace_back(g, false);
+  for (const std::uint32_t g : Access::circuitLearnts(solver))
+    gates.emplace_back(g, true);
+  std::unordered_map<std::uint32_t, std::size_t> expectWatch;
+  for (const auto& [g, learnt] : gates) {
+    if (g + 2 > arena.size()) {
+      r.add("circuit.arena.gate-bounds",
+            (Diag() << "gate ref " << g << " past arena of " << arena.size())
+                .str());
+      continue;
+    }
+    const std::uint32_t size = arena[g] >> 1;
+    if (size < 2 || g + 2 + size > arena.size()) {
+      r.add("circuit.arena.gate-bounds",
+            (Diag() << "gate " << g << " claims " << size
+                    << " inputs in an arena of " << arena.size())
+                .str());
+      continue;
+    }
+    if (((arena[g] & 1) != 0) != learnt)
+      r.add("circuit.arena.learnt-flag",
+            (Diag() << "gate " << g << " sits in the "
+                    << (learnt ? "learnt" : "permanent")
+                    << " list but its header flag disagrees")
+                .str());
+    for (std::uint32_t i = 0; i < size; ++i) {
+      const aig::Lit l = aig::Lit::fromRaw(arena[g + 2 + i]);
+      if (l.node() >= synced)
+        r.add("circuit.arena.dangling-lit",
+              (Diag() << "gate " << g << " input " << i
+                      << " references node " << l.node() << " but only "
+                      << synced << " nodes are synced")
+                  .str());
+    }
+    // The first two literals are the watched pair.
+    if (size >= 2 && g + 4 <= arena.size()) {
+      expectWatch.emplace(g, 0);
+    }
+  }
+
+  // Watch lists: every stored gate watched exactly twice (once per
+  // watched literal's negation), and no watcher names an unknown gate.
+  for (std::size_t w = 0; w < watches.size(); ++w) {
+    for (const auto& watcher : watches[w]) {
+      const auto it = expectWatch.find(watcher.gref);
+      if (it == expectWatch.end()) {
+        r.add("circuit.watch.dangling",
+              (Diag() << "watch list " << w << " holds gate ref "
+                      << watcher.gref << " which no gate list owns")
+                  .str());
+        continue;
+      }
+      ++it->second;
+    }
+  }
+  for (const auto& [g, count] : expectWatch)
+    if (count != 2)
+      r.add("circuit.watch.missing",
+            (Diag() << "gate " << g << " carries " << count
+                    << " watchers instead of 2")
+                .str());
+
+  // Justification frontier: heap/index agreement, AND nodes only.
+  const auto& heap = Access::circuitHeap(solver);
+  const auto& heapIndex = Access::circuitHeapIndex(solver);
+  const aig::Aig& a = Access::circuitAig(solver);
+  for (std::size_t i = 0; i < heap.size(); ++i) {
+    const aig::NodeId n = heap[i];
+    if (n >= heapIndex.size() ||
+        heapIndex[n] != static_cast<int>(i)) {
+      r.add("circuit.frontier.heap-index",
+            (Diag() << "heap slot " << i << " holds node " << n
+                    << " whose index entry disagrees")
+                .str());
+      continue;
+    }
+    if (n >= a.numNodes() || !a.isAnd(n))
+      r.add("circuit.frontier.non-and",
+            (Diag() << "frontier holds node " << n
+                    << " which is not an AND of the bound manager")
+                .str());
+  }
+
+  return r;
+}
+
 // ----- SweepContext ---------------------------------------------------
 
 Report auditSweepContext(sweep::SweepContext& ctx, const aig::Aig& aig) {
   Report r;
   if (!ctx.boundTo(aig)) return r;  // unbound session: nothing to audit
-  r.merge(auditCnf(ctx.cnf()));
+  if (ctx.hasCnf()) r.merge(auditCnf(ctx.cnf()));
+  if (ctx.hasCircuit()) r.merge(auditCircuitSolver(ctx.circuitSolver()));
   return r;
 }
 

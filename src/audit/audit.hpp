@@ -43,6 +43,7 @@
 #include "aig/strash.hpp"
 #include "cnf/aig_cnf.hpp"
 #include "mc/network.hpp"
+#include "sat/circuit_solver.hpp"
 #include "sweep/signatures.hpp"
 #include "sweep/union_find.hpp"
 
@@ -131,7 +132,17 @@ void require(Report report, std::string where);
 /// class rooted at its earliest (minimum-index) member.
 [[nodiscard]] Report auditUnionFind(const sweep::UnionFind& uf);
 
-/// A bound session's CNF against its manager (no-op when unbound).
+/// Circuit-solver arena well-formedness: stored constraint gates have
+/// sane sizes and lie inside the arena, their literals reference synced
+/// nodes, the learnt flag matches the list holding the gate, every gate
+/// is watched by (exactly) the negations of its first two literals with
+/// no dangling watchers, and the justification frontier's heap and index
+/// agree and hold only AND nodes.
+[[nodiscard]] Report auditCircuitSolver(const sat::CircuitSolver& solver);
+
+/// A bound session's engines against its manager (no-op when unbound):
+/// auditCnf on the CNF side when the policy keeps one, and
+/// auditCircuitSolver on the circuit side when it keeps that.
 [[nodiscard]] Report auditSweepContext(sweep::SweepContext& ctx,
                                        const aig::Aig& aig);
 
@@ -232,6 +243,48 @@ struct Access {
   // UnionFind
   static std::vector<std::uint32_t>& parents(sweep::UnionFind& u) {
     return u.parent_;
+  }
+
+  // CircuitSolver
+  static const std::vector<std::uint32_t>& circuitArena(
+      const sat::CircuitSolver& s) {
+    return s.arena_;
+  }
+  static std::vector<std::uint32_t>& circuitArena(sat::CircuitSolver& s) {
+    return s.arena_;
+  }
+  static const std::vector<std::uint32_t>& circuitPermanents(
+      const sat::CircuitSolver& s) {
+    return s.permanents_;
+  }
+  static const std::vector<std::uint32_t>& circuitLearnts(
+      const sat::CircuitSolver& s) {
+    return s.learnts_;
+  }
+  static const std::vector<std::vector<sat::CircuitSolver::Watcher>>&
+  circuitWatches(const sat::CircuitSolver& s) {
+    return s.watches_;
+  }
+  static std::vector<std::vector<sat::CircuitSolver::Watcher>>&
+  circuitWatches(sat::CircuitSolver& s) {
+    return s.watches_;
+  }
+  static std::size_t circuitSyncedNodes(const sat::CircuitSolver& s) {
+    return s.assigns_.size();
+  }
+  static const std::vector<aig::NodeId>& circuitHeap(
+      const sat::CircuitSolver& s) {
+    return s.heap_;
+  }
+  static std::vector<aig::NodeId>& circuitHeap(sat::CircuitSolver& s) {
+    return s.heap_;
+  }
+  static const std::vector<int>& circuitHeapIndex(
+      const sat::CircuitSolver& s) {
+    return s.heapIndex_;
+  }
+  static const aig::Aig& circuitAig(const sat::CircuitSolver& s) {
+    return *s.aig_;
   }
 };
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "aig/aig.hpp"
+#include "sat/backend.hpp"
 #include "sat/solver.hpp"
 #include "util/var_table.hpp"
 
@@ -48,6 +49,12 @@ class AigCnf {
   [[nodiscard]] sat::Solver& solver() { return *solver_; }
   [[nodiscard]] const aig::Aig& aig() const { return *aig_; }
 
+  /// True when `n` already has a solver variable (its cone reached the
+  /// encoder). Lets callers learn facts without forcing fresh encodes.
+  [[nodiscard]] bool hasVarFor(aig::NodeId n) const {
+    return n < nodeVar_.size() && nodeVar_[n] != sat::kUndefVar;
+  }
+
   /// After a Sat answer: model value of an AIG PI (false when the variable
   /// never reached the solver).
   [[nodiscard]] bool modelOf(aig::VarId var) const;
@@ -71,8 +78,10 @@ class AigCnf {
   std::size_t encodedAnds_ = 0;
 };
 
-/// Three-valued verdict of a budgeted semantic query.
-enum class Verdict : std::uint8_t { Holds, Fails, Unknown };
+/// Three-valued verdict of a budgeted semantic query. One type shared
+/// across every SAT backend (sat/backend.hpp defines it; this alias keeps
+/// the historical cnf::Verdict spelling working).
+using Verdict = sat::Verdict;
 
 /// Does `a ≡ b` (as Boolean functions)? Checked as two assumption-only SAT
 /// calls (a∧¬b, ¬a∧b); `budget` caps conflicts per call (<0 = unlimited).

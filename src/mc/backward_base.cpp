@@ -4,6 +4,7 @@
 
 #include "audit/audit.hpp"
 #include "cnf/aig_cnf.hpp"
+#include "cnf/cnf_backend.hpp"
 #include "obs/tracer.hpp"
 #include "sat/solver.hpp"
 
@@ -25,7 +26,7 @@ using aig::VarId;
 Trace reconstructTrace(const Network& net, aig::Aig& archive,
                        const std::vector<Lit>& archNext, Lit archBad,
                        const std::vector<Lit>& frontiers, int d,
-                       obs::Metrics& stats) {
+                       sat::BackendKind satBackend, obs::Metrics& stats) {
   std::vector<aig::VarSub> subst;
   subst.reserve(net.stateVars.size());
   for (std::size_t i = 0; i < net.stateVars.size(); ++i)
@@ -34,9 +35,11 @@ Trace reconstructTrace(const Network& net, aig::Aig& archive,
   Trace trace;
   std::unordered_map<VarId, bool> state = net.initAssignment();
 
-  sat::Solver solver;
-  cnf::AigCnf cnf(archive, solver);
-  std::vector<sat::Lit> assumptions;
+  // One backend serves every step; `satBackend` arrives already resolved
+  // to a solo engine (SweepContext::soloKind), so the descent keeps its
+  // single incremental solver instead of racing per step.
+  const auto backend = cnf::makeSatBackend(satBackend, archive);
+  std::vector<Lit> assumptions;
 
   for (int t = 0; t <= d; ++t) {
     const Lit target =
@@ -45,20 +48,20 @@ Trace reconstructTrace(const Network& net, aig::Aig& archive,
               : archBad;
 
     assumptions.clear();
-    assumptions.push_back(cnf.litFor(target));
+    assumptions.push_back(target);
     for (const auto& [v, value] : state) {
       if (!archive.hasPi(v)) continue;
-      const Lit pi(archive.piNodeOf(v), false);
-      assumptions.push_back(cnf.litFor(pi) ^ !value);
+      assumptions.push_back(Lit(archive.piNodeOf(v), false) ^ !value);
     }
-    if (solver.solve(assumptions) != sat::Status::Sat) {
+    if (backend->solve(assumptions, -1) != sat::Status::Sat) {
       // By construction this cannot happen; bail out with what we have —
       // the replay referee in the caller/test will flag the bad trace.
       break;
     }
 
     std::unordered_map<VarId, bool> inputs;
-    for (const VarId v : net.inputVars) inputs.emplace(v, cnf.modelOf(v));
+    for (const VarId v : net.inputVars)
+      inputs.emplace(v, backend->modelOf(v));
     trace.inputs.push_back(inputs);
 
     if (t < d) {
@@ -71,7 +74,7 @@ Trace reconstructTrace(const Network& net, aig::Aig& archive,
       state = std::move(nextState);
     }
   }
-  sat::exportEffort(stats, solver);
+  sat::exportEffort(stats, *backend);
   return trace;
 }
 
@@ -80,13 +83,16 @@ Trace reconstructTrace(const Network& net, aig::Aig& archive,
 BackwardReachSession::BackwardReachSession(
     const Network& net, std::string engineName, const ReachLimits& limits,
     const CompactionPolicy& compaction, std::size_t hardConeLimit,
-    InputEliminator eliminate)
+    InputEliminator eliminate, sat::BackendKind satBackend)
     : net_(&net),
       limits_(limits),
       compaction_(compaction),
       hardConeLimit_(hardConeLimit),
-      eliminate_(std::move(eliminate)) {
+      eliminate_(std::move(eliminate)),
+      satBackend_(satBackend) {
   res_.engine = std::move(engineName);
+  session_.setBackend(satBackend_);
+  fixSession_.setBackend(satBackend_);
 
   // Working manager: next-state functions + bad cone.
   std::vector<Lit> roots(net.next.begin(), net.next.end());
@@ -267,10 +273,9 @@ Progress BackwardReachSession::run(const portfolio::Budget& bud) {
         fixSession_.bind(mgr_);
         const Lit fpRoots[] = {pre_, reached_};
         fixSession_.recycleIfBloated(mgr_.coneSize(fpRoots));
-        fixSession_.cnf().focusOn(fpRoots);
+        fixSession_.focusOn(fpRoots);
         res_.stats.add("reach.fixpoint_checks");
-        const cnf::Verdict fp =
-            cnf::checkImplies(fixSession_.cnf(), pre_, reached_);
+        const cnf::Verdict fp = fixSession_.checkImplies(pre_, reached_);
         if (fp == cnf::Verdict::Holds) return snapshot(Verdict::Safe, true);
         if (fp == cnf::Verdict::Unknown)  // interrupted mid-solve: retry
           return snapshot(Verdict::Unknown, false);
@@ -286,7 +291,8 @@ Progress BackwardReachSession::run(const portfolio::Budget& bud) {
       case Phase::Trace: {
         CBQ_OBS_SPAN("engine", "trace");
         res_.cex = reconstructTrace(*net_, archive_, archNext_, archBad_,
-                                    frontiersArch_, iter_, res_.stats);
+                                    frontiersArch_, iter_,
+                                    session_.soloKind(), res_.stats);
         res_.stats.set("reach.iterations", iter_);
         return snapshot(Verdict::Unsafe, true);
       }

@@ -55,10 +55,14 @@ using InputEliminator =
 /// reached-set cone.
 class BackwardReachSession final : public Session {
  public:
+  /// `satBackend` selects the SAT engine policy for both persistent
+  /// sessions (merge/DC compare points and fixpoint implications) and,
+  /// resolved to a solo engine, for counterexample reconstruction.
   BackwardReachSession(const Network& net, std::string engineName,
                        const ReachLimits& limits,
                        const CompactionPolicy& compaction,
-                       std::size_t hardConeLimit, InputEliminator eliminate);
+                       std::size_t hardConeLimit, InputEliminator eliminate,
+                       sat::BackendKind satBackend = sat::BackendKind::Cnf);
 
   [[nodiscard]] std::string name() const override { return res_.engine; }
 
@@ -88,6 +92,7 @@ class BackwardReachSession final : public Session {
   CompactionPolicy compaction_;
   std::size_t hardConeLimit_;
   InputEliminator eliminate_;
+  sat::BackendKind satBackend_ = sat::BackendKind::Cnf;
 
   CheckResult res_;  ///< cumulative engine/steps/stats/cex record
 

@@ -9,10 +9,9 @@
 
 #include <algorithm>
 
-#include "cnf/aig_cnf.hpp"
+#include "cnf/cnf_backend.hpp"
 #include "mc/engines.hpp"
 #include "quant/quantifier.hpp"
-#include "sat/solver.hpp"
 #include "sweep/sweep_context.hpp"
 
 namespace cbq::mc {
@@ -68,41 +67,44 @@ void buildModel(const Network& net, ForwardModel& m) {
 /// in the last ring, then step backwards ring by ring with one SAT query
 /// per step (state of ring t, transition into the chosen successor).
 std::optional<Trace> extractTrace(const Network& net, ForwardModel& m,
-                                  const std::vector<Lit>& rings, int d) {
+                                  const std::vector<Lit>& rings, int d,
+                                  sat::BackendKind satBackend) {
   // 1. pick s_d |= rings[d] ∧ ∃i bad — solve rings[d] ∧ bad directly.
   std::unordered_map<VarId, bool> state;
   std::unordered_map<VarId, bool> finalInputs;
   {
-    sat::Solver solver;
-    cnf::AigCnf cnf(m.mgr, solver);
-    const sat::Lit assumptions[] = {
-        cnf.litFor(m.mgr.mkAnd(rings[static_cast<std::size_t>(d)], m.bad))};
-    if (solver.solve(assumptions) != sat::Status::Sat) return std::nullopt;
-    for (const VarId v : net.stateVars) state.emplace(v, cnf.modelOf(v));
+    const auto backend = cnf::makeSatBackend(satBackend, m.mgr);
+    const Lit assumptions[] = {
+        m.mgr.mkAnd(rings[static_cast<std::size_t>(d)], m.bad)};
+    if (backend->solve(assumptions, -1) != sat::Status::Sat)
+      return std::nullopt;
+    for (const VarId v : net.stateVars) state.emplace(v, backend->modelOf(v));
     for (const VarId v : net.inputVars)
-      finalInputs.emplace(v, cnf.modelOf(v));
+      finalInputs.emplace(v, backend->modelOf(v));
   }
 
   // 2. walk backwards: for t = d-1..0 find s_t ∈ rings[t], input i_t with
   //    δ(s_t, i_t) = s_{t+1}.
   std::vector<std::unordered_map<VarId, bool>> inputsRev{finalInputs};
   for (int t = d - 1; t >= 0; --t) {
-    sat::Solver solver;
-    cnf::AigCnf cnf(m.mgr, solver);
-    std::vector<sat::Lit> assumptions;
-    assumptions.push_back(cnf.litFor(
-        m.mgr.mkAnd(rings[static_cast<std::size_t>(t)], m.tr)));
+    const auto backend = cnf::makeSatBackend(satBackend, m.mgr);
+    std::vector<Lit> assumptions;
+    assumptions.push_back(
+        m.mgr.mkAnd(rings[static_cast<std::size_t>(t)], m.tr));
     // Fix the successor (next-state variables) to s_{t+1}.
     for (std::size_t j = 0; j < net.numLatches(); ++j) {
       const Lit pi(m.mgr.piNodeOf(m.nsVars[j]), false);
-      assumptions.push_back(cnf.litFor(pi) ^ !state.at(net.stateVars[j]));
+      assumptions.push_back(pi ^ !state.at(net.stateVars[j]));
     }
-    if (solver.solve(assumptions) != sat::Status::Sat) return std::nullopt;
+    if (backend->solve(assumptions, -1) != sat::Status::Sat)
+      return std::nullopt;
     std::unordered_map<VarId, bool> stepInputs;
-    for (const VarId v : net.inputVars) stepInputs.emplace(v, cnf.modelOf(v));
+    for (const VarId v : net.inputVars)
+      stepInputs.emplace(v, backend->modelOf(v));
     inputsRev.push_back(stepInputs);
     std::unordered_map<VarId, bool> prevState;
-    for (const VarId v : net.stateVars) prevState.emplace(v, cnf.modelOf(v));
+    for (const VarId v : net.stateVars)
+      prevState.emplace(v, backend->modelOf(v));
     state = std::move(prevState);
   }
 
@@ -127,6 +129,7 @@ class ForwardReachSession final : public Session {
     // the ring/reached cones encode once and stay. Each query focuses the
     // solver on its own cone, keeping per-check cost bounded by the live
     // state sets rather than by the accumulated scratch.
+    session_.setBackend(opts_.quant.satBackend);
     session_.setInterrupt(
         [this] { return curBud_ != nullptr && curBud_->exhausted(); });
     session_.bind(m_.mgr);
@@ -155,12 +158,13 @@ class ForwardReachSession final : public Session {
         case Phase::Bad: {
           const Lit q = m_.mgr.mkAnd(frontier_, m_.bad);
           const Lit qRoots[] = {q};
-          session_.cnf().focusOn(qRoots);
-          const cnf::Verdict sat = cnf::checkSat(session_.cnf(), q);
+          session_.focusOn(qRoots);
+          const cnf::Verdict sat = session_.checkSat(q);
           if (sat == cnf::Verdict::Unknown)  // interrupted: retry
             return snapshot(Verdict::Unknown, false);
           if (sat == cnf::Verdict::Holds) {
-            res_.cex = extractTrace(*net_, m_, rings_, iter_);
+            res_.cex =
+                extractTrace(*net_, m_, rings_, iter_, session_.soloKind());
             return snapshot(Verdict::Unsafe, true);
           }
           phase_ = Phase::Guard;
@@ -221,10 +225,9 @@ class ForwardReachSession final : public Session {
         }
         case Phase::Fix: {
           const Lit fpRoots[] = {img_, reached_};
-          session_.cnf().focusOn(fpRoots);
+          session_.focusOn(fpRoots);
           res_.stats.add("reach.fixpoint_checks");
-          const cnf::Verdict fp =
-              cnf::checkImplies(session_.cnf(), img_, reached_);
+          const cnf::Verdict fp = session_.checkImplies(img_, reached_);
           if (fp == cnf::Verdict::Holds)
             return snapshot(Verdict::Safe, true);
           if (fp == cnf::Verdict::Unknown)  // interrupted: retry

@@ -103,7 +103,8 @@ void RunInfo::writeJson(std::ostream& out) const {
       << "\"jobs\": " << jobs << ", "
       << "\"par_threads\": " << parThreads << ", "
       << "\"host_threads\": " << hostThreads << ", "
-      << "\"schedule\": \"" << jsonEscape(schedule) << "\"}";
+      << "\"schedule\": \"" << jsonEscape(schedule) << "\", "
+      << "\"sat_backend\": \"" << jsonEscape(satBackend) << "\"}";
 }
 
 void writeJson(const BatchSummary& summary, std::ostream& out,

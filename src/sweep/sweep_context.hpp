@@ -19,6 +19,17 @@
 // its contents, e.g. periodic compaction) retires the solver and drops
 // the cache; bind() validates the uid on every call.
 
+// Since the circuit-native backend landed, the context actually owns up
+// to TWO engines behind one query surface: the classic (Solver, AigCnf)
+// pair and a sat::CircuitSolver whose propagation walks the manager
+// directly. setBackend() picks the routing policy: solo cnf/circuit, a
+// per-query race (both run, faster definitive answer wins), or `auto` —
+// a per-context EWMA of per-backend query times (the same 0.75/0.25
+// feedback idiom as the DC/ODC gates below) that routes each query to
+// the historical winner and probes the loser every 16th query. On the
+// circuit path nothing is encoded, so cone recycling and compaction
+// remap become no-ops — the cone IS the solver state.
+
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -28,6 +39,9 @@
 
 #include "aig/aig.hpp"
 #include "cnf/aig_cnf.hpp"
+#include "cnf/cnf_backend.hpp"
+#include "sat/backend.hpp"
+#include "sat/circuit_solver.hpp"
 #include "sat/solver.hpp"
 #include "obs/metrics.hpp"
 
@@ -51,8 +65,24 @@ class SweepContext {
 
   /// True when bind(aig) would be a no-op.
   [[nodiscard]] bool boundTo(const aig::Aig& aig) const {
-    return cnf_ != nullptr && aig_ == &aig && uid_ == aig.uid();
+    return (cnf_ != nullptr || circuit_ != nullptr) && aig_ == &aig &&
+           uid_ == aig.uid();
   }
+
+  // ----- backend selection ----------------------------------------------
+
+  /// Sets the routing policy. Takes effect immediately: when the session
+  /// is live and the policy needs a different engine set, the solvers are
+  /// rebuilt (the pair cache survives — same manager, same facts).
+  void setBackend(sat::BackendKind kind);
+  [[nodiscard]] sat::BackendKind backendKind() const { return kind_; }
+
+  /// Resolution of the policy to ONE engine, for enumeration/trace paths
+  /// that keep private per-call state (all-SAT blocking clauses, trace
+  /// steps) where racing would double the bookkeeping for no information:
+  /// Circuit stays Circuit, Auto follows the EWMA winner, Race and Cnf
+  /// resolve to Cnf.
+  [[nodiscard]] sat::BackendKind soloKind() const;
 
   /// Generational staleness control. A run-long clause database
   /// accumulates the cones of every iteration; shared variables (state
@@ -77,9 +107,49 @@ class SweepContext {
       const aig::Aig& newMgr,
       std::span<const std::pair<aig::NodeId, aig::Lit>> transferMap);
 
-  /// The live solver / encoder. Precondition: bind() has been called.
+  /// The live CNF solver / encoder. Precondition: bind() has been called
+  /// and the CNF engine is part of the policy (hasCnf()).
   [[nodiscard]] sat::Solver& solver() { return *solver_; }
   [[nodiscard]] cnf::AigCnf& cnf() { return *cnf_; }
+  [[nodiscard]] bool hasCnf() const { return cnf_ != nullptr; }
+
+  /// The live circuit solver (policy circuit/race/auto). Precondition:
+  /// bind() has been called and hasCircuit().
+  [[nodiscard]] sat::CircuitSolver& circuitSolver() { return *circuit_; }
+  [[nodiscard]] const sat::CircuitSolver& circuitSolver() const {
+    return *circuit_;
+  }
+  [[nodiscard]] bool hasCircuit() const { return circuit_ != nullptr; }
+
+  // ----- backend-routed queries -----------------------------------------
+  // The sweeping/quantification layers ask through these instead of
+  // touching cnf()/solver() directly; the context races or routes per the
+  // policy and keeps the per-query winner statistics.
+
+  /// Prepares both engines for queries rooted at `roots` (CNF: encode +
+  /// focusDecisions; circuit: justification focus).
+  void focusOn(std::span<const aig::Lit> roots);
+
+  [[nodiscard]] cnf::Verdict checkEquiv(aig::Lit a, aig::Lit b,
+                                        std::int64_t budget = -1);
+  [[nodiscard]] cnf::Verdict checkImplies(aig::Lit a, aig::Lit b,
+                                          std::int64_t budget = -1);
+  [[nodiscard]] cnf::Verdict checkConstant(aig::Lit a, bool value,
+                                           std::int64_t budget = -1);
+  [[nodiscard]] cnf::Verdict checkSat(aig::Lit f, std::int64_t budget = -1);
+  [[nodiscard]] cnf::Verdict checkEquivUnderCare(aig::Lit notRef, aig::Lit a,
+                                                 aig::Lit b,
+                                                 std::int64_t budget = -1);
+
+  /// Model of the backend that answered the last definitive query.
+  [[nodiscard]] bool modelOf(aig::VarId v) const;
+
+  /// Records a proven equivalence / constant as solver facts on every
+  /// live engine (the circuit side learns for free; the CNF side only
+  /// when both nodes are already encoded or it is the primary engine —
+  /// a learned fact must never force an encode the policy avoided).
+  void learnEquiv(aig::Lit a, aig::Lit b);
+  void learnConstant(aig::Lit a, bool value);
 
   // ----- DC benefit feedback --------------------------------------------
   // Run-level controller for the quantifier's §2.2 phase: dcSimplify
@@ -120,6 +190,10 @@ class SweepContext {
     std::uint64_t lookups = 0;      ///< pair-cache queries
     std::uint64_t hitsProven = 0;   ///< queries answered Proven
     std::uint64_t hitsRefuted = 0;  ///< queries answered Refuted
+    std::uint64_t cnfWins = 0;      ///< queries answered by the CNF engine
+    std::uint64_t circuitWins = 0;  ///< queries answered by the circuit engine
+    std::uint64_t raceWastedNs = 0;  ///< loser time burned by racing
+    std::uint64_t disagreements = 0;  ///< definitive verdict mismatches
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
   [[nodiscard]] std::size_t cacheSize() const { return pairFacts_.size(); }
@@ -138,17 +212,47 @@ class SweepContext {
  private:
   static std::uint64_t pairKey(aig::Lit a, aig::Lit b);
 
-  /// Retires the current solver's effort counters and rebuilds an empty
-  /// solver + CNF bound to `aig` (shared tail of bind / recycle / remap).
+  /// Retires the current engines' effort counters and rebuilds the
+  /// policy's engine set bound to `aig` (shared tail of bind / recycle /
+  /// remap / setBackend).
   void retireAndRebuild(const aig::Aig& aig);
+  void retireCnfEngine();
+  void retireCircuitEngine();
+
+  // Per-query routing (q runs the semantic check on one engine).
+  using Query = std::function<cnf::Verdict(sat::SatBackend&)>;
+  cnf::Verdict runQuery(const Query& q);
+  cnf::Verdict runOn(bool onCircuit, const Query& q);
+  cnf::Verdict runRaced(const Query& q);
+  void noteBackendSample(bool onCircuit, double ns);
+  void applyFocus(bool onCircuit);
 
   const aig::Aig* aig_ = nullptr;
   std::uint64_t uid_ = 0;
+  sat::BackendKind kind_ = sat::BackendKind::Cnf;
   std::unique_ptr<sat::Solver> solver_;
   std::unique_ptr<cnf::AigCnf> cnf_;
+  std::unique_ptr<cnf::CnfSolverBackend> cnfBackend_;  // wraps solver_+cnf_
+  std::unique_ptr<sat::CircuitSolver> circuit_;
+  sat::SatBackend* lastModel_ = nullptr;
   std::unordered_map<std::uint64_t, bool> pairFacts_;  // key -> proven?
   std::function<bool()> interrupt_;
   Counters counters_;
+
+  // Deferred focus roots: applied per backend just before it runs a
+  // query, so the CNF side never encodes cones for circuit-routed work.
+  std::vector<aig::Lit> pendingFocus_;
+  bool focusPending_ = false;
+  bool cnfFocusStale_ = false;
+  bool circuitFocusStale_ = false;
+
+  // Per-backend query-time EWMA ([0]=cnf, [1]=circuit; exported stats)
+  // and the paired log(cnf/circuit) ratio EWMA that actually steers the
+  // `auto` policy, both seeded by racing the first queries.
+  double backendEwmaNs_[2] = {0.0, 0.0};
+  double backendLogRatioEwma_ = 0.0;
+  std::uint64_t backendSamples_[2] = {0, 0};
+  std::uint32_t backendProbeTick_ = 0;
   std::uint64_t retiredConflicts_ = 0;
   std::uint64_t retiredDecisions_ = 0;
   std::uint64_t retiredPropagations_ = 0;

@@ -89,6 +89,7 @@ SweepResult sweep(aig::Aig& aig, std::span<const Lit> roots,
   // pair cache survives; it is what carries the cross-call wins).
   SweepContext localCtx;
   SweepContext* ctx = opts.context != nullptr ? opts.context : &localCtx;
+  if (opts.context == nullptr) localCtx.setBackend(opts.satBackend);
   ctx->bind(aig);
   ctx->recycleIfBloated(order.size() + support.size());
 
@@ -163,20 +164,16 @@ SweepResult sweep(aig::Aig& aig, std::span<const Lit> roots,
   }
 
   // ----- layer 3: SAT sweeping with cex-guided refinement ------------------
-  cnf::AigCnf& cnf = ctx->cnf();
-  sat::Solver& solver = ctx->solver();
   // Every compare point lives inside the cones of `roots`, and the manager
   // does not grow before the final rebuild — one focus call covers every
   // check of this sweep even when the session's database holds the whole
-  // run's history.
-  if (opts.useSat) cnf.focusOn(roots);
+  // run's history. The context routes each check to the engine(s) its
+  // policy selects (CNF, circuit-native, race or EWMA auto).
+  if (opts.useSat) ctx->focusOn(roots);
 
   auto learn = [&](Lit a, Lit b) {
     if (!opts.learnEquivalences) return;
-    const sat::Lit la = cnf.litFor(a);
-    const sat::Lit lb = cnf.litFor(b);
-    solver.addClause({!la, lb});
-    solver.addClause({la, !lb});
+    ctx->learnEquiv(a, b);
   };
 
   struct EquivClass {
@@ -403,11 +400,10 @@ SweepResult sweep(aig::Aig& aig, std::span<const Lit> roots,
 
         cnf::Verdict verdict;
         if (cls.constant) {
-          verdict = cnf::checkConstant(cnf, Lit(m, false), cls.constValue,
+          verdict = ctx->checkConstant(Lit(m, false), cls.constValue,
                                        opts.satBudget);
         } else {
-          verdict =
-              cnf::checkEquiv(cnf, Lit(m, false), target, opts.satBudget);
+          verdict = ctx->checkEquiv(Lit(m, false), target, opts.satBudget);
         }
         ++out.stats.satChecks;
 
@@ -417,11 +413,8 @@ SweepResult sweep(aig::Aig& aig, std::span<const Lit> roots,
             ctx->recordProven(Lit(m, false), target);
             if (cls.constant) {
               ++out.stats.constMerges;
-              if (opts.learnEquivalences) {
-                const sat::Lit lm =
-                    cnf.litFor(Lit(m, false)) ^ cls.constValue;
-                solver.addClause({!lm});
-              }
+              if (opts.learnEquivalences)
+                ctx->learnConstant(Lit(m, false), cls.constValue);
             } else {
               ++out.stats.satMerges;
               learn(Lit(m, false), target);
@@ -432,7 +425,7 @@ SweepResult sweep(aig::Aig& aig, std::span<const Lit> roots,
             ++out.stats.satRefuted;
             ctx->recordRefuted(Lit(m, false), target);
             for (std::size_t i = 0; i < support.size(); ++i) {
-              const std::uint64_t bit = cnf.modelOf(support[i]) ? 1 : 0;
+              const std::uint64_t bit = ctx->modelOf(support[i]) ? 1 : 0;
               cexBits[i] |= bit << cexCount;
             }
             ++cexCount;

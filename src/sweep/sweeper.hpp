@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "aig/aig.hpp"
+#include "sat/backend.hpp"
 
 namespace cbq::util {
 class ThreadPool;
@@ -56,6 +57,11 @@ struct SweepOptions {
   bool backward = false;          ///< outputs-first compare-point order
   bool learnEquivalences = true;  ///< assert proven merges as clauses
   std::uint64_t seed = 0x5eed;    ///< simulation seed
+
+  /// SAT engine policy for the compare-point checks (cnf, circuit, race,
+  /// auto — see sat::BackendKind). Applied to the private session only;
+  /// when `context` is provided its own policy governs.
+  sat::BackendKind satBackend = sat::BackendKind::Cnf;
 
   /// Cooperative stop, polled once per SAT compare-point check. Sweeping
   /// is an optimization: when the callback fires, the rounds stop and the

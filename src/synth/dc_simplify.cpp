@@ -108,38 +108,6 @@ class CareSim {
   std::vector<std::uint64_t> care_;
 };
 
-/// UNSAT(¬fRef ∧ a ≠ b)? Two assumption-only queries per check.
-cnf::Verdict checkEquivUnderCare(cnf::AigCnf& cnf, Lit notRef, Lit a, Lit b,
-                                 std::int64_t budget) {
-  if (a == b) return cnf::Verdict::Holds;
-  const sat::Lit lc = cnf.litFor(notRef);
-  const sat::Lit la = cnf.litFor(a);
-  const sat::Lit lb = cnf.litFor(b);
-  {
-    const sat::Lit assumptions[] = {lc, la, !lb};
-    switch (cnf.solver().solveLimited(assumptions, budget)) {
-      case sat::Status::Sat:
-        return cnf::Verdict::Fails;
-      case sat::Status::Undef:
-        return cnf::Verdict::Unknown;
-      case sat::Status::Unsat:
-        break;
-    }
-  }
-  {
-    const sat::Lit assumptions[] = {lc, !la, lb};
-    switch (cnf.solver().solveLimited(assumptions, budget)) {
-      case sat::Status::Sat:
-        return cnf::Verdict::Fails;
-      case sat::Status::Undef:
-        return cnf::Verdict::Unknown;
-      case sat::Status::Unsat:
-        return cnf::Verdict::Holds;
-    }
-  }
-  return cnf::Verdict::Unknown;
-}
-
 }  // namespace
 
 DcResult dcSimplify(aig::Aig& aig, Lit fRef, Lit fTgt, const DcOptions& opts) {
@@ -166,16 +134,16 @@ DcResult dcSimplify(aig::Aig& aig, Lit fRef, Lit fTgt, const DcOptions& opts) {
   sweep::SweepContext localCtx;
   sweep::SweepContext* ctx =
       opts.context != nullptr ? opts.context : &localCtx;
+  if (opts.context == nullptr) localCtx.setBackend(opts.satBackend);
   ctx->bind(aig);
   ctx->recycleIfBloated(sim.order().size() + sim.support().size());
-  cnf::AigCnf& cnf = ctx->cnf();
   const Lit notRef = !fRef;
   {
     // Phase A never grows the manager, so the joint cone covers every
     // input-DC query; phase B re-focuses per attempt (its miters may
     // strash onto nodes outside this cone).
     const Lit focusRoots[] = {fRef, fTgt};
-    cnf.focusOn(focusRoots);
+    ctx->focusOn(focusRoots);
   }
 
   // ----- phase A: input-DC replacements (cex-refined rounds) -------------
@@ -237,7 +205,7 @@ DcResult dcSimplify(aig::Aig& aig, Lit fRef, Lit fTgt, const DcOptions& opts) {
 
       ++out.stats.satChecks;
       const cnf::Verdict verdict =
-          checkEquivUnderCare(cnf, notRef, ln, candidate, opts.satBudget);
+          ctx->checkEquivUnderCare(notRef, ln, candidate, opts.satBudget);
       switch (verdict) {
         case cnf::Verdict::Holds: {
           careMap.set(n, candidate);
@@ -251,7 +219,7 @@ DcResult dcSimplify(aig::Aig& aig, Lit fRef, Lit fTgt, const DcOptions& opts) {
           ++out.stats.satRefuted;
           for (std::size_t i = 0; i < sim.support().size(); ++i) {
             const std::uint64_t bit =
-                cnf.modelOf(sim.support()[i]) ? 1 : 0;
+                ctx->modelOf(sim.support()[i]) ? 1 : 0;
             cexBits[i] |= bit << cexCount;
           }
           ++cexCount;
@@ -310,10 +278,10 @@ DcResult dcSimplify(aig::Aig& aig, Lit fRef, Lit fTgt, const DcOptions& opts) {
           const Lit after = aig.mkOr(fRef, tentative);
           {
             const Lit focusRoots[] = {before, after};
-            cnf.focusOn(focusRoots);
+            ctx->focusOn(focusRoots);
           }
           ++out.stats.satChecks;
-          if (cnf::checkEquiv(cnf, before, after, opts.satBudget) ==
+          if (ctx->checkEquiv(before, after, opts.satBudget) ==
               cnf::Verdict::Holds) {
             out.target = tentative;
             ++out.stats.odcReplacements;

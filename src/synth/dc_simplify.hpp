@@ -27,6 +27,7 @@
 #include <span>
 
 #include "aig/aig.hpp"
+#include "sat/backend.hpp"
 
 namespace cbq::sweep {
 class SweepContext;
@@ -53,6 +54,10 @@ struct DcOptions {
   /// NOT recorded in the session's pair cache — they only hold under
   /// ¬fRef, not globally. Null = private throwaway solver per call.
   sweep::SweepContext* context = nullptr;
+
+  /// SAT engine policy for the DC/ODC checks; applied to the private
+  /// session only — a provided `context` keeps its own policy.
+  sat::BackendKind satBackend = sat::BackendKind::Cnf;
 };
 
 struct DcStats {
